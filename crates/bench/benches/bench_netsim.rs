@@ -1,0 +1,98 @@
+//! Simulator-core benchmarks: event throughput bounds how large a §5-style
+//! experiment can run in wall-clock time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ldp_netsim::{Ctx, Node, NodeEvent, Packet, Payload, Sim, SimDuration, SimTime};
+use std::net::SocketAddr;
+
+struct Echo {
+    addr: SocketAddr,
+}
+
+impl Node for Echo {
+    fn on_event(&mut self, ctx: &mut Ctx, event: NodeEvent) {
+        if let NodeEvent::Packet(p) = event {
+            if let Payload::Udp(data) = &p.payload {
+                ctx.send(Packet::udp(self.addr, p.src, data.clone()));
+            }
+        }
+    }
+}
+
+/// Ping-pongs `n` times then stops.
+struct Pinger {
+    addr: SocketAddr,
+    target: SocketAddr,
+    remaining: u64,
+}
+
+impl Node for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.send(Packet::udp(self.addr, self.target, vec![0; 64]));
+    }
+    fn on_event(&mut self, ctx: &mut Ctx, event: NodeEvent) {
+        if let NodeEvent::Packet(p) = event {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                if let Payload::Udp(data) = &p.payload {
+                    ctx.send(Packet::udp(self.addr, p.src, data.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/events");
+    const ROUNDS: u64 = 10_000;
+    g.throughput(Throughput::Elements(ROUNDS * 2));
+    g.bench_function("udp_pingpong", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let p = sim.add_node(Box::new(Pinger {
+                addr: "10.0.0.1:1".parse().unwrap(),
+                target: "10.0.0.2:53".parse().unwrap(),
+                remaining: ROUNDS,
+            }));
+            let e = sim.add_node(Box::new(Echo {
+                addr: "10.0.0.2:53".parse().unwrap(),
+            }));
+            sim.bind("10.0.0.1".parse().unwrap(), p);
+            sim.bind("10.0.0.2".parse().unwrap(), e);
+            sim.set_pair_delay(p, e, SimDuration::from_micros(10));
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    struct TimerHog {
+        remaining: u64,
+    }
+    impl Node for TimerHog {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::from_micros(1), 0);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx, _: NodeEvent) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+    }
+    let mut g = c.benchmark_group("netsim/timers");
+    const N: u64 = 50_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("sequential_timers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            sim.add_node(Box::new(TimerHog { remaining: N }));
+            black_box(sim.run_until(SimTime::from_secs(3600)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_timer_churn);
+criterion_main!(benches);

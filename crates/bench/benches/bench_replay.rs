@@ -1,0 +1,94 @@
+//! Replay-engine component benchmarks: the sticky-affinity router (every
+//! query goes through it twice) and the ΔT scheduling arithmetic (every
+//! query once) — plus the affinity-vs-random ablation from DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ldp_replay::plan::{ReplayPlan, StickyBalancer};
+use ldp_replay::timing::ReplayClock;
+use std::net::IpAddr;
+
+fn ips(n: u32) -> Vec<IpAddr> {
+    (0..n)
+        .map(|i| IpAddr::V4(std::net::Ipv4Addr::from(0x0A00_0000 + i)))
+        .collect()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let sources = ips(10_000);
+    let mut g = c.benchmark_group("replay/route");
+    g.throughput(Throughput::Elements(sources.len() as u64));
+    g.bench_function("sticky_two_level", |b| {
+        b.iter_batched(
+            || ReplayPlan::new(4, 8),
+            |mut plan| {
+                for s in &sources {
+                    black_box(plan.route(*s));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // Ablation: stateless hash routing (no affinity memory). Faster per
+    // query but cannot express "recent source goes where it went before"
+    // once the tree is rebalanced; the sticky router is the paper's design.
+    g.bench_function("stateless_hash", |b| {
+        b.iter(|| {
+            use std::hash::{Hash, Hasher};
+            for s in &sources {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                s.hash(&mut h);
+                black_box(h.finish() % 32);
+            }
+        })
+    });
+    // Warm sticky routing: all sources already assigned.
+    let mut warm = ReplayPlan::new(4, 8);
+    for s in &sources {
+        warm.route(*s);
+    }
+    g.bench_function("sticky_warm", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(warm.route(*s));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let clock = ReplayClock::synchronize(0, 0);
+    let mut g = c.benchmark_group("replay/timing");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("delay_us", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 27;
+            black_box(clock.delay_us(black_box(t), black_box(t / 2)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_balancer_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay/balancer_population");
+    for n in [1_000u32, 100_000, 1_000_000] {
+        let sources = ips(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("{n}_sources"), |b| {
+            b.iter_batched(
+                || StickyBalancer::new(16),
+                |mut bal| {
+                    for s in &sources {
+                        black_box(bal.route(*s));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_timing, bench_balancer_scale);
+criterion_main!(benches);

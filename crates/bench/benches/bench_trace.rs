@@ -1,0 +1,80 @@
+//! Trace-format ablation (DESIGN.md / §2.5 of the paper): the internal
+//! binary stream must decode faster than the capture format and much
+//! faster than plain text — that's why the paper pre-converts before
+//! replay ("so that query manipulation does not limit replay times").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ldp_trace::{capture, stream, text, Mutation, QueryMutator, TraceRecord};
+use ldp_workload::BRootConfig;
+
+fn workload() -> Vec<TraceRecord> {
+    BRootConfig {
+        duration_s: 2.0,
+        mean_rate_qps: 2000.0,
+        clients: 1000,
+        ..BRootConfig::default()
+    }
+    .generate()
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let records = workload();
+    let n = records.len() as u64;
+    let stream_bytes = stream::to_bytes(&records).unwrap();
+    let capture_bytes = capture::to_bytes(&records).unwrap();
+    let mut text_bytes = Vec::new();
+    text::write_text(&mut text_bytes, &records).unwrap();
+
+    println!(
+        "sizes for {n} records: stream={}B capture={}B text={}B",
+        stream_bytes.len(),
+        capture_bytes.len(),
+        text_bytes.len()
+    );
+
+    let mut g = c.benchmark_group("trace/read");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("binary_stream", |b| {
+        b.iter(|| stream::from_bytes(black_box(&stream_bytes)).unwrap())
+    });
+    g.bench_function("capture", |b| {
+        b.iter(|| capture::from_bytes(black_box(&capture_bytes)).unwrap())
+    });
+    g.bench_function("plain_text", |b| {
+        b.iter(|| text::read_text(black_box(std::io::Cursor::new(&text_bytes))).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("trace/write");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("binary_stream", |b| {
+        b.iter(|| stream::to_bytes(black_box(&records)).unwrap())
+    });
+    g.bench_function("capture", |b| {
+        b.iter(|| capture::to_bytes(black_box(&records)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let records = workload();
+    let mut g = c.benchmark_group("trace/mutate");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("all_tcp_plus_do", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |mut recs| {
+                QueryMutator::new(1)
+                    .push(Mutation::SetProtocol(ldp_trace::Protocol::Tcp))
+                    .push(Mutation::SetDoBit { fraction: 1.0 })
+                    .apply_all(&mut recs);
+                recs
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_mutation);
+criterion_main!(benches);

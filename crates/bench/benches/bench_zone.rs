@@ -1,0 +1,59 @@
+//! Zone lookup microbenchmarks: answers, referrals, wildcards, NXDOMAIN,
+//! and the effect of zone size (the meta-DNS-server hosts hundreds of
+//! zones; per-lookup cost bounds server throughput).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_wire::{Name, RrType};
+use ldp_workload::zones::{synthetic_root_zone, wildcard_example_zone};
+
+fn bench_lookup_kinds(c: &mut Criterion) {
+    let root = synthetic_root_zone(500);
+    let wild = wildcard_example_zone();
+    let mut g = c.benchmark_group("zone/lookup");
+    let referral = Name::parse("www.corp.com").unwrap();
+    g.bench_function("referral", |b| {
+        b.iter(|| root.lookup(black_box(&referral), RrType::A, false))
+    });
+    let referral_do = referral.clone();
+    g.bench_function("referral_dnssec", |b| {
+        b.iter(|| root.lookup(black_box(&referral_do), RrType::A, true))
+    });
+    let nx = Name::parse("foo.invalid77").unwrap();
+    g.bench_function("nxdomain", |b| {
+        b.iter(|| root.lookup(black_box(&nx), RrType::A, false))
+    });
+    let wildcard = Name::parse("abc123.example.com").unwrap();
+    g.bench_function("wildcard", |b| {
+        b.iter(|| wild.lookup(black_box(&wildcard), RrType::A, false))
+    });
+    g.finish();
+}
+
+fn bench_zone_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zone/size_scaling");
+    for tlds in [100usize, 1000, 5000] {
+        let zone = synthetic_root_zone(tlds);
+        let q = Name::parse(&format!("www.x.tld{:04}", tlds - 1)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(tlds), &tlds, |b, _| {
+            b.iter(|| zone.lookup(black_box(&q), RrType::A, false))
+        });
+    }
+    g.finish();
+}
+
+fn bench_master_parse(c: &mut Criterion) {
+    let zone = synthetic_root_zone(200);
+    let text = ldp_zone::master::serialize_zone(&zone);
+    let origin = Name::root();
+    let mut g = c.benchmark_group("zone/master");
+    g.bench_function("serialize", |b| {
+        b.iter(|| ldp_zone::master::serialize_zone(black_box(&zone)))
+    });
+    g.bench_function("parse", |b| {
+        b.iter(|| ldp_zone::master::parse_zone(black_box(&origin), black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup_kinds, bench_zone_size, bench_master_parse);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation (paper §5.2.4): the paper traced its unexpected multi-RTT
+//! latency tail to server-side segment coalescing ("Resembling may cause
+//! the large delay… Another optimization is to disable the Nagle algorithm
+//! on the server"). This binary replays the same all-TCP trace with the
+//! server's Nagle-style write coalescing off vs on and shows the tail
+//! moving, which is the causal claim the paper could only conjecture.
+
+use ldp_bench::{emit, scale, traces, Report, Summary};
+use ldp_trace::mutate;
+use ldplayer::SimExperiment;
+use serde_json::json;
+
+fn main() {
+    let scale = scale();
+    let mut report = Report::new("Ablation: server Nagle coalescing vs latency tail (§5.2.4)");
+    let section = report.section(
+        format!("all-TCP replay, 40 ms RTT, 20 s timeout (LDP_SCALE={scale})"),
+        &["server_nagle", "p5", "q1", "median", "q3", "p95", "max"],
+    );
+
+    let cfg = traces::b17b_like(scale.min(0.5));
+    for (label, nagle_ms) in [("off (TCP_NODELAY)", 0u64), ("on (40 ms window)", 40)] {
+        let mut trace = cfg.generate();
+        mutate::all_tcp(5).apply_all(&mut trace);
+        let result = SimExperiment::root_server(trace)
+            .rtt_ms(40)
+            .tcp_idle_timeout_s(20)
+            .server_nagle_ms(nagle_ms)
+            .run();
+        assert!(result.answer_rate() > 0.97, "rate {}", result.answer_rate());
+        let s = Summary::compute(&result.latencies_ms()).expect("latencies");
+        println!(
+            "nagle {label:<18} median {:6.1} ms  q3 {:6.1}  p95 {:6.1}  max {:7.1}",
+            s.median, s.q3, s.p95, s.max
+        );
+        section.row(vec![
+            json!(label),
+            json!(s.p5),
+            json!(s.q1),
+            json!(s.median),
+            json!(s.q3),
+            json!(s.p95),
+            json!(s.max),
+        ]);
+    }
+
+    println!("\nexpected: coalescing shifts the upper percentiles by the coalescing window");
+    emit(&report, "ablation_nagle");
+}

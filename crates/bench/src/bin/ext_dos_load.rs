@@ -1,0 +1,82 @@
+//! Extension experiment (paper §5, "other potential applications include
+//! the study of server hardware and software under denial-of-service
+//! attack"): sweep offered load past the server's capacity and measure
+//! goodput, answer rate, and resource state.
+//!
+//! The attack mix is connection churn over TCP (every burst of queries
+//! from a fresh source pays a handshake and parks connection state). The
+//! server's connection table is capped the way real deployments are
+//! (file descriptors / backlog); past the knee, SYNs get RST and the
+//! answer rate collapses while memory pins at the cap — the classic
+//! state-exhaustion DoS signature. Run with increasing `LDP_SCALE` to
+//! push the sweep higher.
+
+use ldp_bench::{emit, scale, Report};
+use ldp_trace::mutate;
+use ldp_workload::BRootConfig;
+use ldplayer::SimExperiment;
+use serde_json::json;
+
+fn main() {
+    let scale = scale();
+    let mut report = Report::new("Extension: root server under query-flood load");
+    let section = report.section(
+        format!("offered load sweep, all-TCP attack mix (LDP_SCALE={scale})"),
+        &[
+            "offered_qps",
+            "answer_rate",
+            "cpu_percent_at_paper_rate",
+            "established",
+            "refused_syns",
+            "memory_gb",
+        ],
+    );
+    // The victim's connection table caps at 2k connections (scaled-down
+    // fd limit).
+    let conn_cap = 2_000usize;
+
+    // Attack traffic: short bursts from many spoofed-looking sources over
+    // TCP (each fresh source costs a handshake — the expensive path).
+    for mult in [1u32, 2, 4, 8, 16, 32] {
+        let rate = 150.0 * scale * mult as f64;
+        let mut trace = BRootConfig {
+            duration_s: 30.0,
+            mean_rate_qps: rate,
+            clients: (rate * 5.0) as usize, // source churn: DoS-like
+            zipf_alpha: 0.5,                // flat: no reuse-friendly heavy tail
+            seed: 66,
+            ..BRootConfig::default()
+        }
+        .generate();
+        mutate::all_tcp(3).apply_all(&mut trace);
+        let result = SimExperiment::root_server(trace)
+            .rtt_ms(10)
+            .tcp_idle_timeout_s(20)
+            .server_max_connections(conn_cap)
+            .queriers(8)
+            .run();
+        let cpu = result
+            .steady_state(10.0, |s| s.cpu_percent)
+            .unwrap_or(0.0);
+        let actual_rate = result.outcomes.len() as f64 / 30.0;
+        let normalized = cpu * 39_000.0 / actual_rate.max(1.0);
+        println!(
+            "offered {rate:>8.0} q/s: answered {:5.1}%  cpu@paper-rate {normalized:6.2}%  established {:>7}  refused {:>8}  memory {:.2} GB",
+            result.answer_rate() * 100.0,
+            result.final_tcp.established,
+            result.final_tcp.refused,
+            result.final_memory_gb()
+        );
+        section.row(vec![
+            json!(rate),
+            json!(result.answer_rate()),
+            json!(normalized),
+            json!(result.final_tcp.established),
+            json!(result.final_tcp.refused),
+            json!(result.final_memory_gb()),
+        ]);
+    }
+
+    println!("\nexpected shape: perfect service until the connection table fills, then refused SYNs and answer-rate collapse with memory pinned at the cap");
+    emit(&report, "ext_dos_load");
+}

@@ -1,0 +1,103 @@
+//! Figure 10 / §5.1: bandwidth of root responses under different DNSSEC
+//! ZSK sizes and DO-bit shares.
+//!
+//! The six bar groups of the figure: ZSK ∈ {1024, 2048, 2048-rollover} ×
+//! DO-share ∈ {72.3% (2016 reality), 100% (what-if)}. Each cell replays
+//! the same B-Root-like trace (mutated to the target DO share) against a
+//! root zone signed with the target key configuration and reports the
+//! distribution of per-second response bandwidth.
+//!
+//! Paper shapes to check: 1024→2048 ≈ +32%; 72.3%→100% DO at 2048 ≈ +31%;
+//! rollover adds another step.
+
+use ldp_bench::{emit, scale, traces, Report};
+use ldp_trace::{Mutation, QueryMutator};
+use ldp_zone::dnssec::SigningConfig;
+use ldplayer::SimExperiment;
+use serde_json::json;
+
+fn main() {
+    let scale = scale();
+    let mut report = Report::new("Figure 10: response bandwidth vs DNSSEC ZSK size and DO share");
+    let section = report.section(
+        format!("steady-state response bandwidth, Mb/s (LDP_SCALE={scale})"),
+        &["zsk", "do_share", "p5", "q1", "median", "q3", "p95"],
+    );
+
+    let base_cfg = traces::b16_like(scale);
+    // The six bar groups of the figure, plus the paper's stated
+    // future-work point (§5.1): a 4096-bit ZSK at both DO shares.
+    let cases = [
+        ("1024", SigningConfig::zsk1024(), 0.723),
+        ("2048", SigningConfig::zsk2048(), 0.723),
+        ("2048-rollover", SigningConfig::zsk2048().rollover(), 0.723),
+        ("4096 (future work)", SigningConfig::zsk4096(), 0.723),
+        ("1024", SigningConfig::zsk1024(), 1.0),
+        ("2048", SigningConfig::zsk2048(), 1.0),
+        ("2048-rollover", SigningConfig::zsk2048().rollover(), 1.0),
+        ("4096 (future work)", SigningConfig::zsk4096(), 1.0),
+    ];
+
+    let mut medians = Vec::new();
+    for (zsk, signing, do_share) in cases {
+        let mut trace = base_cfg.generate();
+        // Strip the generator's own DO assignment, then set the target
+        // share so both halves of the figure share one workload.
+        QueryMutator::new(99)
+            .push(Mutation::ClearDoBit)
+            .push(Mutation::SetDoBit { fraction: do_share })
+            .apply_all(&mut trace);
+
+        let result = SimExperiment::signed_root(trace, signing)
+            .rtt_ms(1)
+            .run();
+        assert!(result.answer_rate() > 0.99, "answer rate {}", result.answer_rate());
+        let warmup = base_cfg.duration_s * 0.2;
+        let s = result
+            .response_bandwidth_summary(warmup)
+            .expect("bandwidth samples");
+        println!(
+            "ZSK {zsk:<14} DO {:>5.1}%: median {:7.2} Mb/s (q1 {:6.2}, q3 {:6.2})",
+            do_share * 100.0,
+            s.median,
+            s.q1,
+            s.q3
+        );
+        medians.push(((zsk.to_string(), do_share), s.median));
+        section.row(vec![
+            json!(zsk),
+            json!(do_share),
+            json!(s.p5),
+            json!(s.q1),
+            json!(s.median),
+            json!(s.q3),
+            json!(s.p95),
+        ]);
+    }
+
+    // Headline ratios (§5.1's +32% and +31%).
+    let get = |zsk: &str, do_share: f64| {
+        medians
+            .iter()
+            .find(|((z, d), _)| z == zsk && *d == do_share)
+            .map(|(_, m)| *m)
+            .unwrap_or(f64::NAN)
+    };
+    let key_growth = get("2048", 0.723) / get("1024", 0.723) - 1.0;
+    let do_growth = get("2048", 1.0) / get("2048", 0.723) - 1.0;
+    let ratios = report.section("headline ratios", &["comparison", "growth"]);
+    ratios.row(vec![
+        json!("ZSK 1024 → 2048 at 72.3% DO (paper: +32%)"),
+        json!(key_growth),
+    ]);
+    ratios.row(vec![
+        json!("DO 72.3% → 100% at ZSK 2048 (paper: +31%)"),
+        json!(do_growth),
+    ]);
+    println!(
+        "\nZSK 1024→2048: {:+.1}% (paper +32%)   DO 72.3%→100%: {:+.1}% (paper +31%)",
+        key_growth * 100.0,
+        do_growth * 100.0
+    );
+    emit(&report, "fig10_dnssec_bandwidth");
+}

@@ -1,0 +1,110 @@
+//! Figure 13 / §5.2.2: server memory and connection footprint over time
+//! with all queries over TCP, for idle timeouts 5–40 s (plus the original
+//! 3%-TCP trace at 20 s as the baseline).
+//!
+//! Three panels, reproduced as three sections: (a) memory consumption,
+//! (b) established TCP connections, (c) TIME_WAIT sockets — each as a time
+//! series plus its steady-state mean. Paper shapes: all three rise with
+//! the timeout and plateau after ~5 minutes; at 20 s ≈15 GB, ≈60 k
+//! established, ≈120 k TIME_WAIT (scaled by trace rate here); the original
+//! trace stays near the 2 GB UDP baseline.
+
+use ldp_bench::{emit, scale, traces, Report};
+use ldp_trace::mutate;
+use ldplayer::{SimExperiment, SimRunResult};
+use serde_json::json;
+
+fn run_case(all_tcp: bool, timeout: u64, scale: f64) -> (SimRunResult, f64) {
+    let cfg = traces::b17a_like(scale);
+    let mut trace = cfg.generate();
+    if all_tcp {
+        mutate::all_tcp(5).apply_all(&mut trace);
+    }
+    let result = SimExperiment::root_server(trace)
+        .rtt_ms(1)
+        .tcp_idle_timeout_s(timeout)
+        .grace_s(1)
+        .run();
+    (result, cfg.duration_s)
+}
+
+fn main() {
+    let scale = scale();
+    let mut report = Report::new("Figure 13: TCP memory and connection footprint vs idle timeout");
+
+    let timeouts = [5u64, 10, 15, 20, 25, 30, 35, 40];
+    let mut cases: Vec<(String, SimRunResult, f64)> = Vec::new();
+    for t in timeouts {
+        let (r, dur) = run_case(true, t, scale);
+        assert!(r.answer_rate() > 0.98, "timeout {t}: rate {}", r.answer_rate());
+        cases.push((format!("all-TCP {t}s"), r, dur));
+    }
+    {
+        let (r, dur) = run_case(false, 20, scale);
+        cases.push(("original (3% TCP) 20s".into(), r, dur));
+    }
+
+    // Panel summaries (steady state = last 60% of the run). The
+    // `memory_gb_at_paper_rate` column extrapolates the connection-
+    // attributable memory linearly to the paper's ~39 k q/s (connection
+    // counts scale with rate when the client/rate ratio is held, which the
+    // harness traces do); the 2 GB process baseline does not scale.
+    let summary = report.section(
+        format!("steady-state means (LDP_SCALE={scale})"),
+        &["case", "memory_gb", "memory_gb_at_paper_rate", "established", "time_wait", "idle_closed_total"],
+    );
+    let base_gb = 2.0;
+    for (label, r, dur) in &cases {
+        let from = dur * 0.4;
+        let mem = r.steady_state(from, |s| s.memory_gb).unwrap_or(0.0);
+        let est = r.steady_state(from, |s| s.established as f64).unwrap_or(0.0);
+        let tw = r.steady_state(from, |s| s.time_wait as f64).unwrap_or(0.0);
+        let rate = r.outcomes.len() as f64 / dur;
+        let f = 39_000.0 / rate.max(1.0);
+        let extrap = base_gb + (mem - base_gb).max(0.0) * f;
+        println!(
+            "{label:<24} mem {mem:6.2} GB ({extrap:5.1} GB at paper rate)  established {est:8.0}  TIME_WAIT {tw:8.0}"
+        );
+        summary.row(vec![
+            json!(label),
+            json!(mem),
+            json!(extrap),
+            json!(est),
+            json!(tw),
+            json!(r.final_tcp.idle_closed),
+        ]);
+    }
+
+    // Time series per panel (downsampled for the JSON).
+    for (panel, field) in [
+        ("(a) memory_gb", 0usize),
+        ("(b) established", 1),
+        ("(c) time_wait", 2),
+    ] {
+        let section = report.section(panel, &["t_s", "case", "value"]);
+        for (label, r, _) in &cases {
+            let step = (r.samples.len() / 40).max(1);
+            for s in r.samples.iter().step_by(step) {
+                let v = match field {
+                    0 => s.memory_gb,
+                    1 => s.established as f64,
+                    _ => s.time_wait as f64,
+                };
+                section.row(vec![json!(s.t.as_secs_f64()), json!(label), json!(v)]);
+            }
+        }
+    }
+
+    // The headline monotonicity check: memory rises with the timeout.
+    let mems: Vec<f64> = cases[..timeouts.len()]
+        .iter()
+        .map(|(_, r, dur)| r.steady_state(dur * 0.4, |s| s.memory_gb).unwrap_or(0.0))
+        .collect();
+    let mostly_monotone = mems.windows(2).filter(|w| w[1] >= w[0]).count() >= mems.len() - 2;
+    println!(
+        "\nmemory vs timeout {:?} → {}",
+        mems.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        if mostly_monotone { "rises with timeout (paper shape ✓)" } else { "NOT monotone (check scale)" }
+    );
+    emit(&report, "fig13_tcp_footprint");
+}

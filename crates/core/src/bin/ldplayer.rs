@@ -1,0 +1,13 @@
+//! The `ldplayer` CLI binary — a thin shell over [`ldplayer::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match ldplayer::cli::run(&args, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("ldplayer: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

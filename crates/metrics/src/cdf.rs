@@ -1,0 +1,142 @@
+//! Empirical cumulative distribution functions (Figures 7, 8, 15c).
+
+use serde::Serialize;
+
+/// An empirical CDF over f64 samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cdf {
+    /// Sorted sample values.
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF (sorts a copy of the samples).
+    pub fn new(samples: &[f64]) -> Cdf {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Cdf { sorted }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q ∈ [0,1]` (linear interpolation).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(crate::summary::percentile_sorted(&self.sorted, q))
+    }
+
+    /// Downsamples to at most `points` (x, F(x)) pairs for plotting or
+    /// printing, always including the extremes.
+    pub fn points(&self, points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || points == 0 {
+            return Vec::new();
+        }
+        let step = (n.max(points) / points.max(1)).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(x, _)| x) != Some(self.sorted[n - 1]) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Maximum vertical distance to another CDF (two-sample
+    /// Kolmogorov–Smirnov statistic) — the quantitative "how close is the
+    /// replayed distribution to the original" measure behind Figure 7.
+    pub fn ks_distance(&self, other: &Cdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.fraction_at(x) - other.fraction_at(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_at_basics() {
+        let c = Cdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(1.0), 0.25);
+        assert_eq!(c.fraction_at(2.5), 0.5);
+        assert_eq!(c.fraction_at(4.0), 1.0);
+        assert_eq!(c.fraction_at(9.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cdf::new(&(0..=100).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(c.quantile(0.5), Some(50.0));
+        assert_eq!(c.quantile(0.0), Some(0.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        assert!(Cdf::new(&[]).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_ks() {
+        let a = Cdf::new(&[1.0, 2.0, 3.0]);
+        let b = Cdf::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_ks_one() {
+        let a = Cdf::new(&[1.0, 2.0]);
+        let b = Cdf::new(&[10.0, 20.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn shifted_distribution_partial_ks() {
+        let a = Cdf::new(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let b = Cdf::new(&(50..150).map(|i| i as f64).collect::<Vec<_>>());
+        let d = a.ks_distance(&b);
+        assert!((d - 0.5).abs() < 0.02, "{d}");
+    }
+
+    #[test]
+    fn points_downsampled_and_terminated() {
+        let c = Cdf::new(&(0..1000).map(|i| i as f64).collect::<Vec<_>>());
+        let pts = c.points(10);
+        assert!(pts.len() <= 12);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert!(c.points(5).is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Measurement and reporting utilities for the LDplayer reproduction's
+//! evaluation harness.
+//!
+//! Every figure in the paper is one of three statistical shapes, and this
+//! crate provides exactly those:
+//!
+//! * [`Summary`] — median/quartiles/5th/95th whisker summaries (Figures 6,
+//!   10, 11, 15),
+//! * [`Cdf`] — cumulative distributions (Figures 7, 8, 15c),
+//! * [`TimeSeries`] / [`RateSeries`] — per-interval gauges and rates over
+//!   experiment time (Figures 9, 13, 14).
+//!
+//! [`report`] renders results as aligned text tables (the form the
+//! experiment binaries print) and JSON (for downstream plotting).
+
+pub mod cdf;
+pub mod report;
+pub mod series;
+pub mod summary;
+
+pub use cdf::Cdf;
+pub use report::Report;
+pub use series::{RateSeries, TimeSeries};
+pub use summary::Summary;

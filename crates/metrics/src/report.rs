@@ -1,0 +1,184 @@
+//! Experiment result reports: aligned text tables for the console plus
+//! JSON for downstream plotting. Every experiment binary in `ldp-bench`
+//! prints one of these, mirroring a table or figure of the paper.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+use serde_json::{json, Value};
+
+/// A report: a titled collection of sections, each a table of rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    pub title: String,
+    pub sections: Vec<Section>,
+}
+
+/// One table within a report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Section {
+    pub heading: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Report {
+    /// New report reproducing the named paper artifact (e.g. "Figure 10").
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Starts a new section with the given column headers.
+    pub fn section(&mut self, heading: impl Into<String>, columns: &[&str]) -> &mut Section {
+        self.sections.push(Section {
+            heading: heading.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        });
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        for section in &self.sections {
+            let _ = writeln!(out, "\n--- {} ---", section.heading);
+            // Column widths from headers and cells.
+            let mut widths: Vec<usize> = section.columns.iter().map(|c| c.len()).collect();
+            let rendered: Vec<Vec<String>> = section
+                .rows
+                .iter()
+                .map(|row| row.iter().map(render_cell).collect())
+                .collect();
+            for row in &rendered {
+                for (i, cell) in row.iter().enumerate() {
+                    if i < widths.len() {
+                        widths[i] = widths[i].max(cell.len());
+                    }
+                }
+            }
+            let header: Vec<String> = section
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", header.join("  "));
+            for row in &rendered {
+                let line: Vec<String> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let w = widths.get(i).copied().unwrap_or(c.len());
+                        format!("{:<width$}", c, width = w)
+                    })
+                    .collect();
+                let _ = writeln!(out, "{}", line.join("  "));
+            }
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&json!({
+            "title": self.title,
+            "sections": self.sections,
+        }))
+        .expect("report serializes")
+    }
+
+    /// Writes both text and JSON files under `dir` using `stem`.
+    pub fn write_files(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.txt")), self.to_text())?;
+        std::fs::write(dir.join(format!("{stem}.json")), self.to_json())?;
+        Ok(())
+    }
+}
+
+impl Section {
+    /// Appends a row of JSON-able cells.
+    pub fn row(&mut self, cells: Vec<Value>) -> &mut Section {
+        self.rows.push(cells);
+        self
+    }
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", f as i64)
+                } else {
+                    format!("{f:.4}")
+                }
+            } else {
+                n.to_string()
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Shorthand for building a JSON cell row.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$(::serde_json::json!($cell)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Figure X: test");
+        let s = r.section("bandwidth", &["config", "median", "q3"]);
+        s.row(crate::row!["zsk-1024", 171.0, 180.25]);
+        s.row(crate::row!["zsk-2048", 225.5, 231.0]);
+        r
+    }
+
+    #[test]
+    fn text_rendering_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("=== Figure X: test ==="));
+        assert!(text.contains("zsk-1024"));
+        let lines: Vec<&str> = text.lines().collect();
+        let header = lines.iter().find(|l| l.starts_with("config")).unwrap();
+        assert!(header.contains("median"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let json = sample().to_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["title"], "Figure X: test");
+        assert_eq!(v["sections"][0]["rows"][0][0], "zsk-1024");
+    }
+
+    #[test]
+    fn write_files_creates_both() {
+        let dir = std::env::temp_dir().join(format!("ldp-report-test-{}", std::process::id()));
+        sample().write_files(&dir, "figx").unwrap();
+        assert!(dir.join("figx.txt").exists());
+        assert!(dir.join("figx.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn integer_cells_render_without_decimals() {
+        assert_eq!(render_cell(&serde_json::json!(15)), "15");
+        assert_eq!(render_cell(&serde_json::json!(1.5)), "1.5000");
+        assert_eq!(render_cell(&serde_json::json!("s")), "s");
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-bucketed measurements: gauges sampled over experiment time
+//! (memory/connections in Figures 13–14) and event rates per interval
+//! (query rate in Figures 8–9).
+
+use serde::Serialize;
+
+/// A gauge sampled at points in time (e.g. RSS every second).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample at time `t` (seconds).
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.points.push((t, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of values at `t >= from` (steady-state averaging; the paper
+    /// discards the warm-up transient before reporting).
+    pub fn steady_state_mean(&self, from: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Max value over the whole series.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaNs in series"))
+    }
+}
+
+/// Counts events into fixed-width time buckets and reports per-bucket
+/// rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct RateSeries {
+    bucket_seconds: f64,
+    counts: Vec<u64>,
+}
+
+impl RateSeries {
+    /// New rate series with the given bucket width (1.0 = per-second
+    /// rates, as Figure 8 uses).
+    pub fn new(bucket_seconds: f64) -> RateSeries {
+        assert!(bucket_seconds > 0.0);
+        RateSeries {
+            bucket_seconds,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one event at time `t` seconds.
+    pub fn record(&mut self, t: f64) {
+        if t < 0.0 {
+            return;
+        }
+        let idx = (t / self.bucket_seconds) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-bucket rates (events per second).
+    pub fn rates(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.bucket_seconds)
+            .collect()
+    }
+
+    /// Per-bucket relative difference vs another series:
+    /// `(self - other) / other`, skipping empty buckets in `other`.
+    /// This is exactly Figure 8's per-second rate difference.
+    pub fn relative_difference(&self, other: &RateSeries) -> Vec<f64> {
+        let n = self.counts.len().min(other.counts.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if other.counts[i] == 0 {
+                continue;
+            }
+            out.push((self.counts[i] as f64 - other.counts[i] as f64) / other.counts[i] as f64);
+        }
+        out
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Median per-bucket rate.
+    pub fn median_rate(&self) -> Option<f64> {
+        let mut rates = self.rates();
+        if rates.is_empty() {
+            return None;
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in rates"));
+        Some(crate::summary::percentile_sorted(&rates, 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeseries_basics() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 1.0);
+        ts.push(1.0, 3.0);
+        ts.push(2.0, 5.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last(), Some(5.0));
+        assert_eq!(ts.max(), Some(5.0));
+        assert_eq!(ts.steady_state_mean(1.0), Some(4.0));
+        assert_eq!(ts.steady_state_mean(10.0), None);
+    }
+
+    #[test]
+    fn rate_bucketing() {
+        let mut rs = RateSeries::new(1.0);
+        for i in 0..10 {
+            rs.record(0.05 * i as f64); // 10 events in [0,0.5)
+        }
+        rs.record(1.5);
+        assert_eq!(rs.buckets(), 2);
+        assert_eq!(rs.rates(), vec![10.0, 1.0]);
+        assert_eq!(rs.total(), 11);
+    }
+
+    #[test]
+    fn negative_times_ignored() {
+        let mut rs = RateSeries::new(1.0);
+        rs.record(-0.5);
+        assert_eq!(rs.total(), 0);
+    }
+
+    #[test]
+    fn relative_difference_matches_figure8_definition() {
+        let mut orig = RateSeries::new(1.0);
+        let mut replay = RateSeries::new(1.0);
+        // 1000 vs 1001 events in bucket 0 → +0.1% difference.
+        for i in 0..1000 {
+            orig.record(i as f64 / 1001.0);
+        }
+        for i in 0..1001 {
+            replay.record(i as f64 / 1002.0);
+        }
+        let diffs = replay.relative_difference(&orig);
+        assert_eq!(diffs.len(), 1);
+        assert!((diffs[0] - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_difference_skips_empty_buckets() {
+        let mut orig = RateSeries::new(1.0);
+        orig.record(2.5); // buckets 0,1 empty
+        let mut replay = RateSeries::new(1.0);
+        replay.record(0.5);
+        replay.record(2.5);
+        let diffs = replay.relative_difference(&orig);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0], 0.0);
+    }
+
+    #[test]
+    fn median_rate() {
+        let mut rs = RateSeries::new(1.0);
+        for t in [0.1, 0.2, 1.1, 2.2, 2.3, 2.4] {
+            rs.record(t);
+        }
+        // rates: [2, 1, 3] → median 2.
+        assert_eq!(rs.median_rate(), Some(2.0));
+        assert_eq!(RateSeries::new(1.0).median_rate(), None);
+    }
+
+    #[test]
+    fn sub_second_buckets() {
+        let mut rs = RateSeries::new(0.5);
+        rs.record(0.1);
+        rs.record(0.6);
+        assert_eq!(rs.buckets(), 2);
+        assert_eq!(rs.rates(), vec![2.0, 2.0]);
+    }
+}

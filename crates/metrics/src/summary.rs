@@ -1,0 +1,129 @@
+//! Percentile summaries — the box-and-whisker statistics the paper's
+//! figures report ("medians, quartiles, 5th and 95th percentiles").
+
+use serde::Serialize;
+
+/// Five-number-plus summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    pub count: usize,
+    pub min: f64,
+    pub p5: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub p95: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample set.
+    /// Percentiles use linear interpolation between order statistics
+    /// (type-7, the numpy/R default).
+    pub fn compute(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        let q = |p: f64| percentile_sorted(&sorted, p);
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            p5: q(0.05),
+            q1: q(0.25),
+            median: q(0.50),
+            q3: q(0.75),
+            p95: q(0.95),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// One-line rendering used by the experiment binaries.
+    pub fn row(&self, label: &str, unit: &str) -> String {
+        format!(
+            "{label:<28} n={:<8} p5={:>10.3} q1={:>10.3} med={:>10.3} q3={:>10.3} p95={:>10.3} {unit}",
+            self.count, self.p5, self.q1, self.median, self.q3, self.p95
+        )
+    }
+}
+
+/// Percentile over a pre-sorted slice, linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::compute(&[42.0]).unwrap();
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        // 0..=100: median 50, q1 25, q3 75.
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = Summary::compute(&v).unwrap();
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.q1, 25.0);
+        assert_eq!(s.q3, 75.0);
+        assert_eq!(s.p5, 5.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.iqr(), 50.0);
+        assert_eq!(s.mean, 50.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = Summary::compute(&[1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 1.5);
+        assert!((s.q1 - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = Summary::compute(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn row_contains_label() {
+        let s = Summary::compute(&[1.0, 2.0, 3.0]).unwrap();
+        let row = s.row("tcp latency", "ms");
+        assert!(row.contains("tcp latency"));
+        assert!(row.contains("ms"));
+    }
+}

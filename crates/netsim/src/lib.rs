@@ -1,0 +1,42 @@
+//! Discrete-event network simulator — the testbed substrate for the
+//! LDplayer reproduction.
+//!
+//! The paper ran its protocol what-if experiments (DNSSEC bandwidth, all-TCP
+//! and all-TLS root service, latency vs RTT) on the DETER testbed with real
+//! hosts, kernels, and NICs. This crate replaces that hardware with a
+//! deterministic in-process simulation that keeps exactly the state the
+//! experiments measure:
+//!
+//! * [`Sim`] — virtual clock + event queue + address routing; nodes are
+//!   state machines implementing [`Node`] and communicate only through
+//!   simulated packets and timers,
+//! * links with configurable one-way delay (so client↔server RTT is an
+//!   experiment parameter, Figure 15) and egress bandwidth with
+//!   serialization delay (so response size translates into Mb/s, Figure 10),
+//! * [`tcp`] — a per-node TCP stack: 3-way handshake, graceful close,
+//!   TIME_WAIT (2·MSL) bookkeeping, idle timeouts, optional Nagle-style
+//!   write coalescing, and connection-count/memory snapshots (Figures 13/14),
+//! * [`tls`] — a TLS-1.2-style session layer emulating handshake rounds and
+//!   record overhead without real cryptography (sizes and round trips are
+//!   what the experiments measure),
+//! * packet loss/jitter injection for failure testing.
+//!
+//! Determinism: given the same inputs and seeds, every run produces
+//! identical event orders and measurements — the repeatability requirement
+//! of §2.1.
+
+pub mod loss;
+pub mod packet;
+pub mod quic;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+pub mod tls;
+
+pub use loss::LossModel;
+pub use packet::{Packet, Payload, TcpWire};
+pub use sim::{Action, Ctx, Node, NodeEvent, NodeId, Sim};
+pub use tcp::{ConnKey, TcpConfig, TcpEvent, TcpSnapshot, TcpStack, TcpState};
+pub use time::{SimDuration, SimTime};
+pub use quic::{QuicFrame, QuicServerSessions};
+pub use tls::{TlsEndpoint, TlsOutput, TlsRole};

@@ -1,0 +1,148 @@
+//! Packet loss and jitter injection for failure testing.
+//!
+//! The simulated links are lossless by default (matching the paper's LAN
+//! testbed). Loss and jitter models let tests exercise replay behaviour
+//! under degraded networks without touching the protocol state machines.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{Packet, Payload};
+use crate::time::SimDuration;
+
+/// Which packets a loss model may drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossScope {
+    /// Drop any packet.
+    All,
+    /// Drop only UDP datagrams (TCP is modeled without retransmission, so
+    /// dropping TCP segments would wedge connections; restrict loss to UDP
+    /// unless a test wants exactly that wedging).
+    UdpOnly,
+}
+
+/// Seeded random loss + jitter model.
+#[derive(Debug)]
+pub struct LossModel {
+    drop_probability: f64,
+    jitter_max: SimDuration,
+    scope: LossScope,
+    rng: RefCell<StdRng>,
+}
+
+impl LossModel {
+    /// No loss, no jitter.
+    pub fn none() -> LossModel {
+        LossModel {
+            drop_probability: 0.0,
+            jitter_max: SimDuration::ZERO,
+            scope: LossScope::All,
+            rng: RefCell::new(StdRng::seed_from_u64(0)),
+        }
+    }
+
+    /// Uniform random loss with probability `p` over `scope`.
+    pub fn random(p: f64, scope: LossScope, seed: u64) -> LossModel {
+        LossModel {
+            drop_probability: p.clamp(0.0, 1.0),
+            jitter_max: SimDuration::ZERO,
+            scope,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Adds uniform random extra delay in `[0, max)` to every delivery.
+    pub fn with_jitter(mut self, max: SimDuration) -> LossModel {
+        self.jitter_max = max;
+        self
+    }
+
+    /// Decides whether to drop this packet.
+    pub fn drop(&self, packet: &Packet) -> bool {
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        let in_scope = match self.scope {
+            LossScope::All => true,
+            LossScope::UdpOnly => matches!(packet.payload, Payload::Udp(_)),
+        };
+        in_scope && self.rng.borrow_mut().gen::<f64>() < self.drop_probability
+    }
+
+    /// Extra delivery delay for the next packet.
+    pub fn jitter(&self) -> SimDuration {
+        if self.jitter_max == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        SimDuration(self.rng.borrow_mut().gen_range(0..self.jitter_max.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpWire;
+    use std::net::SocketAddr;
+
+    fn udp_packet() -> Packet {
+        let a: SocketAddr = "10.0.0.1:1".parse().unwrap();
+        let b: SocketAddr = "10.0.0.2:2".parse().unwrap();
+        Packet::udp(a, b, vec![0; 10])
+    }
+
+    fn tcp_packet() -> Packet {
+        let a: SocketAddr = "10.0.0.1:1".parse().unwrap();
+        let b: SocketAddr = "10.0.0.2:2".parse().unwrap();
+        Packet::tcp(a, b, TcpWire::Syn)
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let m = LossModel::none();
+        for _ in 0..1000 {
+            assert!(!m.drop(&udp_packet()));
+        }
+        assert_eq!(m.jitter(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn full_loss_drops_everything_in_scope() {
+        let m = LossModel::random(1.0, LossScope::All, 1);
+        assert!(m.drop(&udp_packet()));
+        assert!(m.drop(&tcp_packet()));
+    }
+
+    #[test]
+    fn udp_only_scope_spares_tcp() {
+        let m = LossModel::random(1.0, LossScope::UdpOnly, 1);
+        assert!(m.drop(&udp_packet()));
+        assert!(!m.drop(&tcp_packet()));
+    }
+
+    #[test]
+    fn loss_rate_approximates_probability() {
+        let m = LossModel::random(0.3, LossScope::All, 42);
+        let drops = (0..10_000).filter(|_| m.drop(&udp_packet())).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let m1 = LossModel::random(0.5, LossScope::All, 7);
+        let m2 = LossModel::random(0.5, LossScope::All, 7);
+        let d1: Vec<bool> = (0..100).map(|_| m1.drop(&udp_packet())).collect();
+        let d2: Vec<bool> = (0..100).map(|_| m2.drop(&udp_packet())).collect();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let m = LossModel::none().with_jitter(SimDuration::from_millis(5));
+        for _ in 0..1000 {
+            assert!(m.jitter() < SimDuration::from_millis(5));
+        }
+    }
+}

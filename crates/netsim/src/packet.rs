@@ -1,0 +1,108 @@
+//! Simulated packets: addressed payloads carried between nodes.
+
+use std::net::SocketAddr;
+
+/// TCP control/data messages exchanged by [`crate::tcp::TcpStack`]s.
+///
+/// The simulator models TCP at connection-and-message granularity: sequence
+/// numbers, windows, and retransmission are abstracted away (simulated links
+/// are lossless for TCP), but everything the paper's experiments measure —
+/// handshake round trips, connection state lifecycles, TIME_WAIT
+/// accumulation, idle-timeout closes, bytes on the wire — is explicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpWire {
+    Syn,
+    SynAck,
+    Ack,
+    /// A chunk of application stream bytes.
+    Data(Vec<u8>),
+    Fin,
+    /// ACK of a FIN (closing handshake).
+    FinAck,
+    /// Abortive reset (sent to half-open peers, e.g. after restart).
+    Rst,
+}
+
+impl TcpWire {
+    /// Approximate on-wire size, for bandwidth accounting: 40 bytes of
+    /// IP+TCP headers plus payload.
+    pub fn wire_size(&self) -> usize {
+        40 + match self {
+            TcpWire::Data(d) => d.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Transport payload of a simulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A UDP datagram (28 bytes of headers + body).
+    Udp(Vec<u8>),
+    /// A TCP segment.
+    Tcp(TcpWire),
+}
+
+impl Payload {
+    /// On-wire size including network/transport headers.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Payload::Udp(d) => 28 + d.len(),
+            Payload::Tcp(t) => t.wire_size(),
+        }
+    }
+}
+
+/// One packet in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src: SocketAddr,
+    pub dst: SocketAddr,
+    pub payload: Payload,
+}
+
+impl Packet {
+    pub fn udp(src: SocketAddr, dst: SocketAddr, data: Vec<u8>) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload: Payload::Udp(data),
+        }
+    }
+
+    pub fn tcp(src: SocketAddr, dst: SocketAddr, wire: TcpWire) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload: Payload::Tcp(wire),
+        }
+    }
+
+    /// On-wire size for serialization-delay and bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        self.payload.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn udp_wire_size_includes_headers() {
+        let p = Packet::udp(sa("10.0.0.1:4000"), sa("10.0.0.2:53"), vec![0; 100]);
+        assert_eq!(p.wire_size(), 128);
+    }
+
+    #[test]
+    fn tcp_sizes() {
+        assert_eq!(TcpWire::Syn.wire_size(), 40);
+        assert_eq!(TcpWire::Data(vec![0; 60]).wire_size(), 100);
+        let p = Packet::tcp(sa("10.0.0.1:4000"), sa("10.0.0.2:53"), TcpWire::Fin);
+        assert_eq!(p.wire_size(), 40);
+    }
+}

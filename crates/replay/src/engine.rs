@@ -1,0 +1,623 @@
+//! The live replay engine (tokio, real sockets) — the implementation
+//! behind the §4 fidelity and throughput experiments.
+//!
+//! Architecture (Figure 4 of the paper): the Controller's Reader preloads
+//! the query stream and its Postman distributes records with same-source
+//! affinity to Distributors, which feed Queriers. The paper runs these as
+//! processes across hosts connected by TCP; here they are tokio tasks
+//! connected by channels — the dataflow (two-level sticky distribution,
+//! time-sync broadcast, per-querier scheduling) is the same, and the
+//! throughput experiment (§4.3) measures the same per-core replay limits.
+//!
+//! Queriers keep one socket per original source (capped, LRU-less: sources
+//! beyond the cap share by hash) so same-source queries reuse a socket,
+//! and one TCP connection per source with reuse (§2.6). Timing uses
+//! [`ReplayClock`] with a hybrid coarse-sleep + spin for sub-millisecond
+//! accuracy.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+use ldp_trace::{Protocol, TraceRecord};
+
+use crate::plan::ReplayPlan;
+use crate::timing::ReplayClock;
+
+/// How the engine paces queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayMode {
+    /// Faithful trace timing (optionally scaled).
+    Timed { speed: f64 },
+    /// As fast as possible (load testing, §4.3).
+    Fast,
+}
+
+/// Per-query result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Query time relative to trace start (µs).
+    pub trace_offset_us: u64,
+    /// Actual send time relative to the replay epoch (µs).
+    pub sent_offset_us: u64,
+    /// Response latency, if an answer arrived (µs).
+    pub latency_us: Option<u64>,
+    /// Original source address.
+    pub src: IpAddr,
+    pub protocol: Protocol,
+}
+
+/// Full replay result.
+#[derive(Debug)]
+pub struct ReplayReport {
+    pub outcomes: Vec<ReplayOutcome>,
+    /// Wall-clock duration of the sending phase (µs).
+    pub send_duration_us: u64,
+    pub sent: u64,
+    pub answered: u64,
+}
+
+impl ReplayReport {
+    /// Timing errors in milliseconds (sent − target), Figure 6's metric.
+    pub fn timing_errors_ms(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .map(|o| (o.sent_offset_us as f64 - o.trace_offset_us as f64) / 1000.0)
+            .collect()
+    }
+
+    /// Replayed inter-arrival times in seconds (Figure 7's metric).
+    pub fn replayed_interarrivals_s(&self) -> Vec<f64> {
+        let mut sent: Vec<u64> = self.outcomes.iter().map(|o| o.sent_offset_us).collect();
+        sent.sort_unstable();
+        sent.windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / 1e6)
+            .collect()
+    }
+
+    /// Achieved send rate (q/s) over the sending phase (Figure 9's metric).
+    pub fn achieved_qps(&self) -> f64 {
+        if self.send_duration_us == 0 {
+            return 0.0;
+        }
+        self.sent as f64 / (self.send_duration_us as f64 / 1e6)
+    }
+
+    /// Response latencies in milliseconds.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.latency_us)
+            .map(|us| us as f64 / 1000.0)
+            .collect()
+    }
+}
+
+/// Live replay configuration.
+#[derive(Debug, Clone)]
+pub struct LiveReplay {
+    /// Target server (the system under test).
+    pub server: SocketAddr,
+    pub mode: ReplayMode,
+    /// Distribution-tree shape; total queriers = product.
+    pub distributors: usize,
+    pub queriers_per_distributor: usize,
+    /// Max distinct UDP sockets per querier (sources beyond share).
+    pub max_sockets_per_querier: usize,
+    /// How long to wait for in-flight answers after the last send.
+    pub drain: Duration,
+}
+
+impl LiveReplay {
+    /// Sensible defaults for loopback experiments: the paper's prototype
+    /// shape (1 distributor × 6 queriers).
+    pub fn new(server: SocketAddr) -> LiveReplay {
+        LiveReplay {
+            server,
+            mode: ReplayMode::Timed { speed: 1.0 },
+            distributors: 1,
+            queriers_per_distributor: 6,
+            max_sockets_per_querier: 128,
+            drain: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs the replay to completion.
+    pub async fn run(&self, records: Vec<TraceRecord>) -> std::io::Result<ReplayReport> {
+        let trace_epoch_us = records.first().map(|r| r.time_us).unwrap_or(0);
+
+        // Controller: Reader (the records Vec is the preloaded window) +
+        // Postman (sticky two-level distribution).
+        let mut plan = ReplayPlan::new(self.distributors, self.queriers_per_distributor);
+        let partitions = plan.partition(records, |r| r.src);
+
+        // Distributor layer: forward each partition over a channel, as the
+        // paper's distributor processes do over TCP.
+        let mut handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>> = Vec::new();
+        // The shared epoch (the time-sync broadcast value). Taken just
+        // before spawning so offsets are measured on one clock; the few
+        // microseconds of spawn skew show up as (tiny) positive timing
+        // error, which the fidelity experiments' warmup window absorbs.
+        let epoch = Instant::now();
+        for part in partitions {
+            if part.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel::<TraceRecord>(1024);
+            tokio::spawn(async move {
+                for rec in part {
+                    if tx.send(rec).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            handles.push(tokio::spawn(self.querier(trace_epoch_us, epoch).run(rx)));
+        }
+
+        self.collect(handles).await
+    }
+
+    /// Streaming variant: replays records pulled incrementally from a
+    /// trace reader, never holding the whole trace in memory. This is the
+    /// paper's §3 Reader: a bounded read-ahead window (the channel
+    /// capacity) keeps input processing from falling behind real time
+    /// while capping memory for multi-gigabyte traces. The reader runs on
+    /// a blocking thread; routing stays sticky per source.
+    pub async fn run_stream<I>(&self, records: I) -> std::io::Result<ReplayReport>
+    where
+        I: Iterator<Item = Result<TraceRecord, ldp_trace::TraceError>> + Send + 'static,
+    {
+        let mut plan = ReplayPlan::new(self.distributors, self.queriers_per_distributor);
+        let n_queriers = plan.querier_count();
+
+        // The reader must see the first record to latch the trace epoch
+        // before any querier starts; peel it off eagerly.
+        let mut records = records;
+        let first = match records.next() {
+            None => return self.collect(Vec::new()).await,
+            Some(Err(e)) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Some(Ok(rec)) => rec,
+        };
+        let trace_epoch_us = first.time_us;
+        let epoch = Instant::now();
+
+        let mut txs = Vec::with_capacity(n_queriers);
+        let mut handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>> = Vec::new();
+        for _ in 0..n_queriers {
+            let (tx, rx) = mpsc::channel::<TraceRecord>(PRELOAD_WINDOW);
+            txs.push(tx);
+            handles.push(tokio::spawn(self.querier(trace_epoch_us, epoch).run(rx)));
+        }
+
+        // Reader + Postman on a blocking thread: decode, route sticky,
+        // push with backpressure (blocking_send parks the reader when a
+        // querier's window is full — the pre-load bound).
+        let reader = tokio::task::spawn_blocking(move || {
+            let (_, _, idx) = plan.route(first.src);
+            if txs[idx].blocking_send(first).is_err() {
+                return;
+            }
+            for rec in records {
+                let Ok(rec) = rec else { return };
+                let (_, _, idx) = plan.route(rec.src);
+                if txs[idx].blocking_send(rec).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let report = self.collect(handles).await;
+        let _ = reader.await;
+        report
+    }
+
+    fn querier(&self, trace_epoch_us: u64, epoch: Instant) -> QuerierTask {
+        QuerierTask {
+            server: self.server,
+            mode: self.mode,
+            trace_epoch_us,
+            clock: ReplayClock::synchronize(trace_epoch_us, 0).with_speed(match self.mode {
+                ReplayMode::Timed { speed } => speed,
+                ReplayMode::Fast => 1.0,
+            }),
+            epoch,
+            max_sockets: self.max_sockets_per_querier,
+            drain: self.drain,
+        }
+    }
+
+    async fn collect(
+        &self,
+        handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>>,
+    ) -> std::io::Result<ReplayReport> {
+        let mut outcomes = Vec::new();
+        for h in handles {
+            outcomes.extend(h.await.expect("querier task panicked")?);
+        }
+        let send_duration_us = outcomes
+            .iter()
+            .map(|o| o.sent_offset_us)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(outcomes.iter().map(|o| o.sent_offset_us).min().unwrap_or(0))
+            .max(if outcomes.is_empty() { 0 } else { 1 });
+        let sent = outcomes.len() as u64;
+        let answered = outcomes.iter().filter(|o| o.latency_us.is_some()).count() as u64;
+        Ok(ReplayReport {
+            outcomes,
+            send_duration_us,
+            sent,
+            answered,
+        })
+    }
+}
+
+/// The Reader's per-querier read-ahead window (records), bounding memory
+/// for streamed traces while keeping queriers fed ahead of real time (§3).
+const PRELOAD_WINDOW: usize = 4096;
+
+/// Shared response bookkeeping: outcome slots + per-socket pending maps.
+type Pending = Arc<Mutex<HashMap<u16, (usize, Instant)>>>;
+type Latencies = Arc<Mutex<Vec<Option<u64>>>>;
+
+struct QuerierTask {
+    server: SocketAddr,
+    mode: ReplayMode,
+    trace_epoch_us: u64,
+    clock: ReplayClock,
+    epoch: Instant,
+    max_sockets: usize,
+    drain: Duration,
+}
+
+impl QuerierTask {
+    async fn run(
+        self,
+        mut rx: mpsc::Receiver<TraceRecord>,
+    ) -> std::io::Result<Vec<ReplayOutcome>> {
+        let mut udp: Vec<(Arc<UdpSocket>, Pending)> = Vec::new();
+        let mut udp_by_source: HashMap<IpAddr, usize> = HashMap::new();
+        let mut tcp: HashMap<IpAddr, TcpConn> = HashMap::new();
+        let mut recv_tasks: Vec<JoinHandle<()>> = Vec::new();
+
+        let latencies: Latencies = Arc::new(Mutex::new(Vec::new()));
+        let mut meta: Vec<(u64, u64, IpAddr, Protocol)> = Vec::new();
+        let mut next_id: u16 = 0;
+
+        while let Some(mut rec) = rx.recv().await {
+            // Pace the send.
+            let now_us = self.epoch.elapsed().as_micros() as u64;
+            if let ReplayMode::Timed { .. } = self.mode {
+                if let Some(delay) = self.clock.delay_us(rec.time_us, now_us) {
+                    sleep_until_precise(Instant::now() + Duration::from_micros(delay)).await;
+                }
+            }
+
+            let outcome_idx = {
+                let mut l = latencies.lock();
+                l.push(None);
+                l.len() - 1
+            };
+            next_id = next_id.wrapping_add(1);
+            rec.message.header.id = next_id;
+            let wire = match rec.message.to_bytes() {
+                Ok(w) => w,
+                Err(_) => continue,
+            };
+
+            let sent_at = Instant::now();
+            match rec.protocol {
+                Protocol::Udp => {
+                    let slot = match udp_by_source.get(&rec.src) {
+                        Some(&s) => s,
+                        None => {
+                            let s = if udp.len() < self.max_sockets {
+                                let socket =
+                                    Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+                                let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+                                recv_tasks.push(tokio::spawn(recv_udp(
+                                    socket.clone(),
+                                    pending.clone(),
+                                    latencies.clone(),
+                                )));
+                                udp.push((socket, pending));
+                                udp.len() - 1
+                            } else {
+                                // Cap reached: share sockets by source hash.
+                                hash_ip(rec.src) % udp.len()
+                            };
+                            udp_by_source.insert(rec.src, s);
+                            s
+                        }
+                    };
+                    let (socket, pending) = &udp[slot];
+                    pending.lock().insert(next_id, (outcome_idx, sent_at));
+                    let _ = socket.send_to(&wire, self.server).await;
+                }
+                Protocol::Tcp | Protocol::Tls | Protocol::Quic => {
+                    // Live mode carries TLS/QUIC as TCP: handshake
+                    // emulation is a simulator concern; live TCP still
+                    // exercises framing and connection reuse.
+                    let conn = match tcp.get_mut(&rec.src) {
+                        Some(c) if !c.dead => c,
+                        _ => {
+                            match TcpConn::open(self.server, latencies.clone()).await {
+                                Ok(c) => {
+                                    tcp.insert(rec.src, c);
+                                    tcp.get_mut(&rec.src).expect("just inserted")
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                    };
+                    conn.pending.lock().insert(next_id, (outcome_idx, sent_at));
+                    if conn.send(&wire).await.is_err() {
+                        conn.dead = true;
+                    }
+                }
+            }
+            meta.push((
+                rec.time_us.saturating_sub(self.trace_epoch_us),
+                self.epoch.elapsed().as_micros() as u64,
+                rec.src,
+                rec.protocol,
+            ));
+        }
+
+        tokio::time::sleep(self.drain).await;
+        for t in &recv_tasks {
+            t.abort();
+        }
+        for (_, conn) in tcp.iter() {
+            conn.reader.abort();
+        }
+
+        let latencies = latencies.lock();
+        Ok(meta
+            .into_iter()
+            .enumerate()
+            .map(|(i, (trace_offset_us, sent_offset_us, src, protocol))| ReplayOutcome {
+                trace_offset_us,
+                sent_offset_us,
+                latency_us: latencies.get(i).copied().flatten(),
+                src,
+                protocol,
+            })
+            .collect())
+    }
+}
+
+fn hash_ip(ip: IpAddr) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ip.hash(&mut h);
+    h.finish() as usize
+}
+
+async fn recv_udp(socket: Arc<UdpSocket>, pending: Pending, latencies: Latencies) {
+    let mut buf = vec![0u8; 65_535];
+    loop {
+        let Ok((len, _)) = socket.recv_from(&mut buf).await else {
+            continue;
+        };
+        if len < 2 {
+            continue;
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        if let Some((idx, sent_at)) = pending.lock().remove(&id) {
+            let latency = sent_at.elapsed().as_micros() as u64;
+            let mut l = latencies.lock();
+            if let Some(slot) = l.get_mut(idx) {
+                *slot = Some(latency);
+            }
+        }
+    }
+}
+
+struct TcpConn {
+    writer: tokio::net::tcp::OwnedWriteHalf,
+    reader: JoinHandle<()>,
+    pending: Pending,
+    dead: bool,
+}
+
+impl TcpConn {
+    async fn open(server: SocketAddr, latencies: Latencies) -> std::io::Result<TcpConn> {
+        let stream = tokio::net::TcpStream::connect(server).await?;
+        stream.set_nodelay(true)?;
+        let (mut read_half, writer) = stream.into_split();
+        let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+        let pending_r = pending.clone();
+        let reader = tokio::spawn(async move {
+            loop {
+                let mut lenbuf = [0u8; 2];
+                if read_half.read_exact(&mut lenbuf).await.is_err() {
+                    return;
+                }
+                let len = u16::from_be_bytes(lenbuf) as usize;
+                let mut msg = vec![0u8; len];
+                if read_half.read_exact(&mut msg).await.is_err() {
+                    return;
+                }
+                if msg.len() < 2 {
+                    continue;
+                }
+                let id = u16::from_be_bytes([msg[0], msg[1]]);
+                if let Some((idx, sent_at)) = pending_r.lock().remove(&id) {
+                    let latency = sent_at.elapsed().as_micros() as u64;
+                    let mut l = latencies.lock();
+                    if let Some(slot) = l.get_mut(idx) {
+                        *slot = Some(latency);
+                    }
+                }
+            }
+        });
+        Ok(TcpConn {
+            writer,
+            reader,
+            pending,
+            dead: false,
+        })
+    }
+
+    async fn send(&mut self, wire: &[u8]) -> std::io::Result<()> {
+        let framed = ldp_wire::framing::frame_message(wire)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized"))?;
+        self.writer.write_all(&framed).await
+    }
+}
+
+/// Coarse sleep to within ~1.5 ms of the target, then a *yielding* spin —
+/// tokio's timer wheel alone is too coarse for the ±2.5 ms quartile errors
+/// the paper reports, but a blocking spin would starve the other queriers
+/// sharing the worker pool (fatal on single-core hosts: every spin blocks
+/// every other querier's sends). `yield_now` re-polls the deadline each
+/// scheduler pass, so concurrent queriers interleave at ~µs granularity.
+async fn sleep_until_precise(target: Instant) {
+    const SPIN_WINDOW: Duration = Duration::from_micros(1500);
+    if let Some(coarse) = target.checked_sub(SPIN_WINDOW) {
+        if Instant::now() < coarse {
+            tokio::time::sleep_until(coarse.into()).await;
+        }
+    }
+    while Instant::now() < target {
+        tokio::task::yield_now().await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_server::auth::AuthEngine;
+    use ldp_server::live::LiveServer;
+    use ldp_wire::{Name, RrType};
+    use ldp_workload::zones::wildcard_example_zone;
+    use ldp_zone::ZoneSet;
+
+    fn engine() -> Arc<AuthEngine> {
+        let mut set = ZoneSet::new();
+        set.insert(wildcard_example_zone());
+        Arc::new(AuthEngine::with_zones(Arc::new(set)))
+    }
+
+    fn trace(n: u64, gap_us: u64, protocol: Protocol) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                let mut rec = TraceRecord::udp_query(
+                    i * gap_us,
+                    format!("10.0.0.{}", 1 + i % 5).parse().unwrap(),
+                    (1024 + i % 60000) as u16,
+                    Name::parse(&format!("q{i}.example.com")).unwrap(),
+                    RrType::A,
+                );
+                rec.protocol = protocol;
+                rec
+            })
+            .collect()
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn udp_replay_answers_and_times() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let replay = LiveReplay::new(server.addr);
+        let report = replay.run(trace(200, 2_000, Protocol::Udp)).await.unwrap();
+        assert_eq!(report.sent, 200);
+        assert!(
+            report.answered >= 195,
+            "answered only {}/200",
+            report.answered
+        );
+        // Timing errors should be tiny on loopback.
+        let errors = report.timing_errors_ms();
+        let max_err = errors.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max_err < 50.0, "max timing error {max_err} ms");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn fast_mode_outruns_trace_timing() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Fast;
+        // Trace nominally spans 10s; fast mode must finish way earlier.
+        let t0 = Instant::now();
+        let report = replay.run(trace(500, 20_000, Protocol::Udp)).await.unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(report.sent, 500);
+        assert!(report.achieved_qps() > 500.0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn tcp_replay_reuses_connections() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Fast;
+        let report = replay.run(trace(100, 1_000, Protocol::Tcp)).await.unwrap();
+        assert_eq!(report.sent, 100);
+        assert!(report.answered >= 95, "answered {}", report.answered);
+        // 100 queries from 5 distinct sources: connections ≪ queries.
+        let conns = server
+            .stats
+            .tcp_connections
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(conns <= 10, "expected ≤10 connections, saw {conns}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn streamed_replay_from_encoded_trace() {
+        // Round-trip through the on-disk stream format and replay without
+        // materializing the trace (the §3 Reader pre-load path).
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let records = trace(300, 1_000, Protocol::Udp);
+        let bytes = ldp_trace::stream::to_bytes(&records).unwrap();
+        let reader =
+            ldp_trace::stream::StreamReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Fast;
+        replay.drain = Duration::from_millis(800);
+        let report = replay.run_stream(reader).await.unwrap();
+        assert_eq!(report.sent, 300);
+        // Fast-blasting 300 UDP datagrams while sibling tests contend for
+        // the same core can overflow socket buffers; require a strong
+        // majority rather than near-perfection.
+        assert!(report.answered >= 240, "answered {}", report.answered);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn streamed_replay_empty_input() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let report = LiveReplay::new(server.addr)
+            .run_stream(std::iter::empty())
+            .await
+            .unwrap();
+        assert_eq!(report.sent, 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn empty_trace_is_fine() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let report = LiveReplay::new(server.addr).run(vec![]).await.unwrap();
+        assert_eq!(report.sent, 0);
+        assert_eq!(report.achieved_qps(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The distributed query replay engine (§2.6 and §3 of the paper).
+//!
+//! LDplayer's query engine is a two-level distribution tree — a Controller
+//! (Reader + Postman) feeding Distributors feeding Queriers — that replays
+//! a captured query stream with faithful timing, keeps all queries from
+//! one original source on one querier (and one socket/connection), and
+//! speaks UDP, TCP, and TLS.
+//!
+//! * [`plan`] — the pure distribution logic: same-source affinity
+//!   assignment through both tree levels,
+//! * [`timing`] — the ΔTᵢ = Δt̄ᵢ − Δtᵢ scheduling rule that subtracts
+//!   accumulated processing delay from the trace-relative send time,
+//! * [`engine`] — the live tokio implementation used for the §4
+//!   replay-fidelity and throughput experiments (real sockets, loopback);
+//!   the paper's processes-on-many-hosts become tasks-in-one-process with
+//!   channels standing in for the TCP control connections — the dataflow,
+//!   affinity, and timing logic are identical,
+//! * [`simclient`] — querier nodes for [`ldp_netsim`], used by the §5
+//!   protocol experiments (controlled RTT, TCP/TLS connection reuse,
+//!   latency distributions).
+
+pub mod engine;
+pub mod plan;
+pub mod simclient;
+pub mod timing;
+
+pub use engine::{LiveReplay, ReplayMode, ReplayOutcome, ReplayReport};
+pub use plan::ReplayPlan;
+pub use timing::ReplayClock;

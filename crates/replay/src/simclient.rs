@@ -1,0 +1,807 @@
+//! Querier nodes for the discrete-event simulator — the client side of the
+//! §5 protocol experiments.
+//!
+//! A [`SimQuerier`] replays a pre-partitioned slice of the trace against
+//! the simulated authoritative server, pacing sends by trace time (virtual
+//! time makes the ΔT arithmetic exact), emulating original sources as
+//! distinct local ports, and reusing one TCP connection (or TLS session)
+//! per original source, reconnecting when the server's idle timeout closes
+//! it — precisely the client behaviour whose consequences Figures 13–15
+//! measure.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr};
+
+use ldp_netsim::quic::{self, QuicFrame};
+use ldp_netsim::{
+    ConnKey, Ctx, Node, NodeEvent, Packet, Payload, SimTime, TcpConfig, TcpEvent, TcpStack,
+    TlsEndpoint, TlsOutput, TlsRole,
+};
+use ldp_trace::{Protocol, TraceRecord};
+use ldp_wire::framing::{frame_message, FrameDecoder};
+use ldp_wire::{DNS_PORT, DNS_TLS_PORT};
+
+/// Result of one replayed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The original source this query came from.
+    pub src: IpAddr,
+    /// Trace timestamp (µs).
+    pub trace_time_us: u64,
+    /// When the querier actually handed the query to the transport.
+    pub sent_at: SimTime,
+    /// When the response arrived, if it did.
+    pub answered_at: Option<SimTime>,
+    pub protocol: Protocol,
+    /// The UDP answer came back truncated and the query was retried over
+    /// TCP (RFC 7766 fallback); `answered_at` then reflects the TCP
+    /// answer — truncation is the latency penalty DNSSEC-sized responses
+    /// pay on small-payload paths.
+    pub tc_retried: bool,
+}
+
+impl SimOutcome {
+    /// Query latency in milliseconds, if answered.
+    pub fn latency_ms(&self) -> Option<f64> {
+        self.answered_at
+            .map(|a| (a - self.sent_at).as_secs_f64() * 1000.0)
+    }
+}
+
+/// Per-original-source QUIC session state.
+struct QuicConn {
+    conn_id: u64,
+    established: bool,
+    /// Framed DNS messages queued until the 1-RTT handshake completes.
+    queued: Vec<Vec<u8>>,
+}
+
+/// Per-original-source TCP/TLS connection state.
+struct SourceConn {
+    key: ConnKey,
+    tls: Option<TlsEndpoint>,
+    framer: FrameDecoder,
+    established: bool,
+    /// Writes queued until the connection (and TLS session) is up.
+    queued: Vec<Vec<u8>>,
+}
+
+/// A simulated querier node.
+pub struct SimQuerier {
+    addr: IpAddr,
+    server: IpAddr,
+    records: Vec<TraceRecord>,
+    pub tcp: TcpStack,
+    conns: HashMap<IpAddr, SourceConn>,
+    conn_owner: HashMap<ConnKey, IpAddr>,
+    /// UDP local port per original source.
+    udp_ports: HashMap<IpAddr, u16>,
+    next_udp_port: u16,
+    /// In-flight queries: (local port, DNS id) → outcome index.
+    pending_udp: HashMap<(u16, u16), usize>,
+    /// In-flight stream queries: (source, DNS id) → outcome index.
+    pending_stream: HashMap<(IpAddr, u16), usize>,
+    next_id: u16,
+    pub outcomes: Vec<SimOutcome>,
+    /// Maps outcome index → source record index (needed by the TC-retry
+    /// path; send order tracks record order except when an encode fails).
+    outcome_record: Vec<usize>,
+    /// QUIC sessions per original source (extension transport).
+    quic_conns: HashMap<IpAddr, QuicConn>,
+    quic_by_id: HashMap<u64, IpAddr>,
+    next_quic_id: u64,
+    /// Local UDP port carrying QUIC traffic (one per querier suffices:
+    /// sessions are distinguished by connection id, not 4-tuple).
+    quic_port: u16,
+    /// Queries whose connection died before they could be sent.
+    pub aborted: u64,
+}
+
+impl SimQuerier {
+    /// `records` must be time-ordered (the plan partition preserves this).
+    pub fn new(
+        addr: IpAddr,
+        server: IpAddr,
+        tcp_config: TcpConfig,
+        records: Vec<TraceRecord>,
+    ) -> SimQuerier {
+        SimQuerier {
+            addr,
+            server,
+            tcp: TcpStack::new(addr, tcp_config),
+            conns: HashMap::new(),
+            conn_owner: HashMap::new(),
+            udp_ports: HashMap::new(),
+            next_udp_port: 10_000,
+            pending_udp: HashMap::new(),
+            pending_stream: HashMap::new(),
+            next_id: 0,
+            outcomes: Vec::with_capacity(records.len()),
+            outcome_record: Vec::with_capacity(records.len()),
+            quic_conns: HashMap::new(),
+            quic_by_id: HashMap::new(),
+            // Connection IDs must be globally unique across queriers (real
+            // clients pick random 64-bit CIDs); seed the counter's high
+            // bits from this querier's address so parallel queriers never
+            // collide at the server's session table.
+            next_quic_id: (addr_seed(addr) << 32) | 1,
+            quic_port: 8853,
+            aborted: 0,
+            records,
+        }
+    }
+
+    /// Fraction of queries answered.
+    pub fn answer_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.answered_at.is_some())
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    fn udp_port_for(&mut self, src: IpAddr) -> u16 {
+        if let Some(&p) = self.udp_ports.get(&src) {
+            return p;
+        }
+        let p = self.next_udp_port;
+        self.next_udp_port = self.next_udp_port.checked_add(1).unwrap_or(10_000);
+        self.udp_ports.insert(src, p);
+        p
+    }
+
+    fn send_query(&mut self, ctx: &mut Ctx, index: usize) {
+        let rec = self.records[index].clone();
+        self.next_id = self.next_id.wrapping_add(1);
+        let id = self.next_id;
+        let mut msg = rec.message.clone();
+        msg.header.id = id;
+        let Ok(wire) = msg.to_bytes() else {
+            return;
+        };
+        let outcome_idx = self.outcomes.len();
+        self.outcomes.push(SimOutcome {
+            src: rec.src,
+            trace_time_us: rec.time_us,
+            sent_at: ctx.now(),
+            answered_at: None,
+            protocol: rec.protocol,
+            tc_retried: false,
+        });
+        self.outcome_record.push(index);
+        match rec.protocol {
+            Protocol::Udp => {
+                let port = self.udp_port_for(rec.src);
+                self.pending_udp.insert((port, id), outcome_idx);
+                ctx.send(Packet::udp(
+                    SocketAddr::new(self.addr, port),
+                    SocketAddr::new(self.server, DNS_PORT),
+                    wire,
+                ));
+            }
+            Protocol::Tcp | Protocol::Tls => {
+                self.pending_stream.insert((rec.src, id), outcome_idx);
+                let Ok(framed) = frame_message(&wire) else {
+                    return;
+                };
+                self.send_stream(ctx, rec.src, rec.protocol, framed);
+            }
+            Protocol::Quic => {
+                self.pending_stream.insert((rec.src, id), outcome_idx);
+                let Ok(framed) = frame_message(&wire) else {
+                    return;
+                };
+                self.send_quic(ctx, rec.src, framed);
+            }
+        }
+    }
+
+    /// Sends a framed DNS message over the source's QUIC session, opening
+    /// one (1-RTT handshake) when needed.
+    fn send_quic(&mut self, ctx: &mut Ctx, src: IpAddr, framed: Vec<u8>) {
+        if !self.quic_conns.contains_key(&src) {
+            let conn_id = self.next_quic_id;
+            self.next_quic_id += 1;
+            self.quic_by_id.insert(conn_id, src);
+            self.quic_conns.insert(
+                src,
+                QuicConn {
+                    conn_id,
+                    established: false,
+                    queued: Vec::new(),
+                },
+            );
+            ctx.send(Packet::udp(
+                SocketAddr::new(self.addr, self.quic_port),
+                SocketAddr::new(self.server, DNS_TLS_PORT),
+                quic::encode(&QuicFrame::Initial { conn_id }),
+            ));
+        }
+        let conn = self.quic_conns.get_mut(&src).expect("just ensured");
+        if conn.established {
+            let frame = quic::encode(&QuicFrame::App {
+                conn_id: conn.conn_id,
+                data: framed,
+            });
+            ctx.send(Packet::udp(
+                SocketAddr::new(self.addr, self.quic_port),
+                SocketAddr::new(self.server, DNS_TLS_PORT),
+                frame,
+            ));
+        } else {
+            conn.queued.push(framed);
+        }
+    }
+
+    /// Handles a QUIC datagram from the server.
+    fn handle_quic(&mut self, ctx: &mut Ctx, data: &[u8]) {
+        let Some(frame) = quic::decode(data) else {
+            return;
+        };
+        match frame {
+            QuicFrame::Accept { conn_id } => {
+                let Some(&src) = self.quic_by_id.get(&conn_id) else {
+                    return;
+                };
+                let Some(conn) = self.quic_conns.get_mut(&src) else {
+                    return;
+                };
+                conn.established = true;
+                let queued = std::mem::take(&mut conn.queued);
+                for framed in queued {
+                    let frame = quic::encode(&QuicFrame::App { conn_id, data: framed });
+                    ctx.send(Packet::udp(
+                        SocketAddr::new(self.addr, self.quic_port),
+                        SocketAddr::new(self.server, DNS_TLS_PORT),
+                        frame,
+                    ));
+                }
+            }
+            QuicFrame::App { conn_id, data } => {
+                let Some(&src) = self.quic_by_id.get(&conn_id) else {
+                    return;
+                };
+                if data.len() >= 4 {
+                    // Strip the 2-byte length prefix; match by DNS id.
+                    let id = u16::from_be_bytes([data[2], data[3]]);
+                    if let Some(idx) = self.pending_stream.remove(&(src, id)) {
+                        self.outcomes[idx].answered_at = Some(ctx.now());
+                    }
+                }
+            }
+            QuicFrame::Close { conn_id } => {
+                // Server idle-expired the session: next query re-handshakes.
+                if let Some(src) = self.quic_by_id.remove(&conn_id) {
+                    if let Some(conn) = self.quic_conns.remove(&src) {
+                        self.aborted += conn.queued.len() as u64;
+                    }
+                }
+            }
+            QuicFrame::Initial { .. } => {}
+        }
+    }
+
+    fn send_stream(&mut self, ctx: &mut Ctx, src: IpAddr, protocol: Protocol, framed: Vec<u8>) {
+        // One connection per original source, opened on demand and reused
+        // until the server's idle timeout closes it (§2.6).
+        if !self.conns.contains_key(&src) {
+            let port = match protocol {
+                Protocol::Tls => DNS_TLS_PORT,
+                _ => DNS_PORT,
+            };
+            let key = self
+                .tcp
+                .connect(ctx, None, SocketAddr::new(self.server, port));
+            self.conn_owner.insert(key, src);
+            self.conns.insert(
+                src,
+                SourceConn {
+                    key,
+                    tls: (protocol == Protocol::Tls).then(|| TlsEndpoint::new(TlsRole::Client)),
+                    framer: FrameDecoder::new(),
+                    established: false,
+                    queued: Vec::new(),
+                },
+            );
+        }
+        let conn = self.conns.get_mut(&src).expect("just ensured");
+        if !conn.established {
+            conn.queued.push(framed);
+            return;
+        }
+        let key = conn.key;
+        match conn.tls.as_mut() {
+            Some(tls) if tls.is_established() => {
+                let outs = tls.write_app_data(&framed);
+                for out in outs {
+                    if let TlsOutput::SendBytes(bytes) = out {
+                        self.tcp.send(ctx, key, &bytes);
+                    }
+                }
+            }
+            Some(tls) => {
+                // TLS still handshaking: queue inside the endpoint.
+                let _ = tls.write_app_data(&framed);
+            }
+            None => self.tcp.send(ctx, key, &framed),
+        }
+    }
+
+    fn handle_tcp_events(&mut self, ctx: &mut Ctx, events: Vec<TcpEvent>) {
+        for event in events {
+            match event {
+                TcpEvent::Connected(key) => {
+                    let Some(&src) = self.conn_owner.get(&key) else {
+                        continue;
+                    };
+                    let Some(conn) = self.conns.get_mut(&src) else {
+                        continue;
+                    };
+                    conn.established = true;
+                    if let Some(tls) = conn.tls.as_mut() {
+                        // Kick off the TLS handshake; queued app data
+                        // flushes when it completes.
+                        let queued = std::mem::take(&mut conn.queued);
+                        let mut outs = tls.on_tcp_connected();
+                        for data in queued {
+                            outs.extend(tls.write_app_data(&data));
+                        }
+                        for out in outs {
+                            if let TlsOutput::SendBytes(bytes) = out {
+                                self.tcp.send(ctx, key, &bytes);
+                            }
+                        }
+                    } else {
+                        let queued = std::mem::take(&mut conn.queued);
+                        for data in queued {
+                            self.tcp.send(ctx, key, &data);
+                        }
+                    }
+                }
+                TcpEvent::Data(key, bytes) => {
+                    let Some(&src) = self.conn_owner.get(&key) else {
+                        continue;
+                    };
+                    let Some(conn) = self.conns.get_mut(&src) else {
+                        continue;
+                    };
+                    let mut app_bytes: Vec<Vec<u8>> = Vec::new();
+                    if let Some(tls) = conn.tls.as_mut() {
+                        for out in tls.on_bytes(&bytes) {
+                            match out {
+                                TlsOutput::SendBytes(b) => self.tcp.send(ctx, key, &b),
+                                TlsOutput::AppData(d) => app_bytes.push(d),
+                                TlsOutput::HandshakeComplete => {}
+                            }
+                        }
+                    } else {
+                        app_bytes.push(bytes);
+                    }
+                    // Re-borrow after possible tcp sends.
+                    let Some(conn) = self.conns.get_mut(&src) else {
+                        continue;
+                    };
+                    let mut frames = Vec::new();
+                    for data in app_bytes {
+                        conn.framer.feed(&data);
+                        frames.extend(conn.framer.drain_frames());
+                    }
+                    for frame in frames {
+                        self.match_stream_response(ctx.now(), src, &frame);
+                    }
+                }
+                TcpEvent::PeerClosed(key) | TcpEvent::Closed(key) => {
+                    // Server idle-timeout (or our own close): drop the
+                    // mapping so the next query reconnects fresh — that
+                    // reconnect is the 2-RTT latency mode of Figure 15b.
+                    if let Some(src) = self.conn_owner.remove(&key) {
+                        if let Some(conn) = self.conns.remove(&src) {
+                            self.aborted += conn.queued.len() as u64;
+                        }
+                    }
+                }
+                TcpEvent::Accepted(_) => {}
+            }
+        }
+    }
+
+    /// RFC 7766 truncation fallback: re-issue the query over TCP on the
+    /// source's (possibly fresh) connection. The original send time is
+    /// kept so the outcome's latency includes the wasted UDP round trip,
+    /// exactly what a stub experiences.
+    fn retry_over_tcp(&mut self, ctx: &mut Ctx, outcome_idx: usize, id: u16) {
+        let src = {
+            let o = &mut self.outcomes[outcome_idx];
+            o.tc_retried = true;
+            o.src
+        };
+        let Some(rec) = self
+            .outcome_record
+            .get(outcome_idx)
+            .and_then(|&i| self.records.get(i))
+        else {
+            return;
+        };
+        let mut msg = rec.message.clone();
+        msg.header.id = id;
+        let Ok(wire) = msg.to_bytes() else { return };
+        let Ok(framed) = frame_message(&wire) else { return };
+        self.pending_stream.insert((src, id), outcome_idx);
+        self.send_stream(ctx, src, Protocol::Tcp, framed);
+    }
+
+    fn match_stream_response(&mut self, now: SimTime, src: IpAddr, frame: &[u8]) {
+        if frame.len() < 2 {
+            return;
+        }
+        let id = u16::from_be_bytes([frame[0], frame[1]]);
+        if let Some(idx) = self.pending_stream.remove(&(src, id)) {
+            self.outcomes[idx].answered_at = Some(now);
+        }
+    }
+}
+
+impl Node for SimQuerier {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Arm one timer per record at its trace time; virtual time makes
+        // this exact (ΔT scheduling degenerates to "fire at t̄ᵢ").
+        for (i, rec) in self.records.iter().enumerate() {
+            let at = SimTime::from_micros(rec.time_us) - SimTime::ZERO;
+            ctx.set_timer(at, i as u64);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx, event: NodeEvent) {
+        match event {
+            NodeEvent::Timer { token } if TcpStack::owns_timer(token) => {
+                let events = self.tcp.on_timer(ctx, token);
+                self.handle_tcp_events(ctx, events);
+            }
+            NodeEvent::Timer { token } => {
+                self.send_query(ctx, token as usize);
+            }
+            NodeEvent::Packet(packet) => match &packet.payload {
+                Payload::Udp(data) => {
+                    if packet.dst.port() == self.quic_port {
+                        let data = data.clone();
+                        self.handle_quic(ctx, &data);
+                        return;
+                    }
+                    if data.len() < 3 {
+                        return;
+                    }
+                    let id = u16::from_be_bytes([data[0], data[1]]);
+                    let port = packet.dst.port();
+                    // TC bit: flags byte 2, bit 0x02 (RFC 1035 §4.1.1).
+                    let truncated = data[2] & 0x02 != 0;
+                    if truncated {
+                        if let Some(idx) = self.pending_udp.remove(&(port, id)) {
+                            self.retry_over_tcp(ctx, idx, id);
+                        }
+                        return;
+                    }
+                    if let Some(idx) = self.pending_udp.remove(&(port, id)) {
+                        self.outcomes[idx].answered_at = Some(ctx.now());
+                    }
+                }
+                Payload::Tcp(_) => {
+                    let events = self.tcp.on_packet(ctx, &packet);
+                    self.handle_tcp_events(ctx, events);
+                }
+            },
+        }
+    }
+}
+
+/// Derives a querier-unique seed from its address (IPv4 bits or a hash of
+/// the IPv6 octets).
+fn addr_seed(addr: IpAddr) -> u64 {
+    match addr {
+        IpAddr::V4(v4) => u32::from(v4) as u64,
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            u64::from_be_bytes(o[8..16].try_into().expect("eight octets"))
+        }
+    }
+}
+
+/// Per-client query counts — Figure 15c's distribution, and the filter for
+/// the "non-busy clients" cut of Figure 15b.
+pub fn per_client_counts(outcomes: &[SimOutcome]) -> HashMap<IpAddr, u64> {
+    let mut counts = HashMap::new();
+    for o in outcomes {
+        *counts.entry(o.src).or_default() += 1;
+    }
+    counts
+}
+
+/// Latencies (ms) filtered to clients with fewer than `max_queries`
+/// queries (Figure 15b: "non-busy clients that send less than 250
+/// queries").
+pub fn non_busy_latencies_ms(outcomes: &[SimOutcome], max_queries: u64) -> Vec<f64> {
+    let counts = per_client_counts(outcomes);
+    outcomes
+        .iter()
+        .filter(|o| counts[&o.src] < max_queries)
+        .filter_map(|o| o.latency_ms())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_netsim::{Sim, SimDuration};
+    use ldp_server::auth::AuthEngine;
+    use ldp_server::resource::ResourceModel;
+    use ldp_server::sim::AuthServerNode;
+    use ldp_workload::zones::wildcard_example_zone;
+    use ldp_wire::{Name, RrType};
+    use ldp_zone::ZoneSet;
+    use std::sync::Arc;
+
+    fn engine() -> Arc<AuthEngine> {
+        let mut set = ZoneSet::new();
+        set.insert(wildcard_example_zone());
+        Arc::new(AuthEngine::with_zones(Arc::new(set)))
+    }
+
+    fn trace(n: u64, gap_us: u64, protocol: Protocol, sources: u32) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                let mut rec = TraceRecord::udp_query(
+                    1000 + i * gap_us,
+                    format!("10.9.0.{}", 1 + (i as u32 % sources)).parse().unwrap(),
+                    (2000 + i) as u16,
+                    Name::parse(&format!("q{i}.example.com")).unwrap(),
+                    RrType::A,
+                );
+                rec.protocol = protocol;
+                rec
+            })
+            .collect()
+    }
+
+    fn world(
+        records: Vec<TraceRecord>,
+        server_tcp: TcpConfig,
+        rtt_ms: u64,
+    ) -> (Sim, ldp_netsim::NodeId, ldp_netsim::NodeId) {
+        let mut sim = Sim::new();
+        let q = sim.add_node(Box::new(SimQuerier::new(
+            "10.9.9.9".parse().unwrap(),
+            "192.0.2.53".parse().unwrap(),
+            TcpConfig::default(),
+            records,
+        )));
+        let s = sim.add_node(Box::new(AuthServerNode::new(
+            "192.0.2.53".parse().unwrap(),
+            engine(),
+            server_tcp,
+            ResourceModel::default(),
+        )));
+        sim.bind("10.9.9.9".parse().unwrap(), q);
+        sim.bind("192.0.2.53".parse().unwrap(), s);
+        sim.set_pair_delay(q, s, SimDuration::from_millis(rtt_ms / 2));
+        (sim, q, s)
+    }
+
+    #[test]
+    fn udp_latency_is_one_rtt() {
+        let (mut sim, q, _) = world(trace(10, 1000, Protocol::Udp, 3), TcpConfig::default(), 40);
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert_eq!(querier.outcomes.len(), 10);
+        assert!((querier.answer_rate() - 1.0).abs() < 1e-9);
+        for o in &querier.outcomes {
+            assert_eq!(o.latency_ms(), Some(40.0), "UDP = exactly 1 RTT");
+            // Sent exactly at trace time (virtual clock).
+            assert_eq!(o.sent_at, SimTime::from_micros(o.trace_time_us));
+        }
+    }
+
+    #[test]
+    fn tcp_first_query_two_rtt_then_reuse_one_rtt() {
+        let (mut sim, q, s) = world(
+            trace(5, 100_000, Protocol::Tcp, 1),
+            TcpConfig::default(),
+            40,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert!((querier.answer_rate() - 1.0).abs() < 1e-9);
+        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert_eq!(lat[0], 80.0, "fresh connection: 2 RTT");
+        for &l in &lat[1..] {
+            assert_eq!(l, 40.0, "reused connection: 1 RTT");
+        }
+        // Server saw exactly one handshake.
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.tcp_handshakes, 1);
+        assert_eq!(server.usage.stream_queries, 5);
+    }
+
+    #[test]
+    fn tls_first_query_four_rtt_then_reuse() {
+        let (mut sim, q, s) = world(
+            trace(4, 200_000, Protocol::Tls, 1),
+            TcpConfig::default(),
+            40,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert!((querier.answer_rate() - 1.0).abs() < 1e-9, "rate {}", querier.answer_rate());
+        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert_eq!(lat[0], 160.0, "TCP(1) + TLS(2) + query(1) = 4 RTT");
+        for &l in &lat[1..] {
+            assert_eq!(l, 40.0, "established session: 1 RTT");
+        }
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.tls_handshakes, 1);
+    }
+
+    #[test]
+    fn quic_first_query_two_rtt_then_reuse_one_rtt() {
+        // QUIC folds crypto into the transport handshake: fresh session =
+        // 2 RTT total (1 handshake + 1 query), reuse = 1 RTT — half of
+        // TLS's fresh cost.
+        let (mut sim, q, s) = world(
+            trace(4, 100_000, Protocol::Quic, 1),
+            TcpConfig::default(),
+            40,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert!((querier.answer_rate() - 1.0).abs() < 1e-9, "rate {}", querier.answer_rate());
+        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert_eq!(lat[0], 80.0, "fresh QUIC session: 2 RTT");
+        for &l in &lat[1..] {
+            assert_eq!(l, 40.0, "established session: 1 RTT");
+        }
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.quic_handshakes, 1);
+        assert_eq!(server.usage.stream_queries, 4);
+        assert_eq!(server.quic.len(), 1);
+        // And crucially: no TCP state at all — no TIME_WAIT ever.
+        assert_eq!(server.tcp.snapshot().established, 0);
+        assert_eq!(server.tcp.snapshot().time_wait, 0);
+    }
+
+    #[test]
+    fn quic_sessions_expire_and_rehandshake() {
+        // Two queries 30 s apart with a 20 s idle timeout: the session is
+        // swept, the client learns via Close, and the second query pays
+        // the handshake again — but leaves no TIME_WAIT residue.
+        let records = vec![
+            trace(1, 0, Protocol::Quic, 1).remove(0),
+            {
+                let mut r = trace(1, 0, Protocol::Quic, 1).remove(0);
+                r.time_us = 30_000_000;
+                r
+            },
+        ];
+        let server_tcp = TcpConfig {
+            idle_timeout: Some(SimDuration::from_secs(20)),
+            ..TcpConfig::default()
+        };
+        let (mut sim, q, s) = world(records, server_tcp, 40);
+        sim.run_until(SimTime::from_secs(120));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert_eq!(lat, vec![80.0, 80.0], "both queries on fresh sessions");
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.quic_handshakes, 2);
+        assert_eq!(server.quic.idle_closed, 2);
+        assert_eq!(server.tcp.snapshot().time_wait, 0, "no TIME_WAIT in QUIC");
+    }
+
+    #[test]
+    fn server_idle_timeout_forces_reconnect() {
+        // Two queries 30s apart with a 20s server idle timeout: the second
+        // query pays the fresh-connection 2 RTT again.
+        let records = vec![
+            trace(1, 0, Protocol::Tcp, 1).remove(0),
+            {
+                let mut r = trace(1, 0, Protocol::Tcp, 1).remove(0);
+                r.time_us = 30_000_000;
+                r
+            },
+        ];
+        let server_tcp = TcpConfig {
+            idle_timeout: Some(SimDuration::from_secs(20)),
+            ..TcpConfig::default()
+        };
+        let (mut sim, q, s) = world(records, server_tcp, 40);
+        sim.run_until(SimTime::from_secs(120));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert_eq!(lat, vec![80.0, 80.0], "both queries on fresh connections");
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.tcp_handshakes, 2);
+        assert_eq!(server.tcp.snapshot().idle_closed, 2);
+    }
+
+    #[test]
+    fn mixed_protocol_trace() {
+        let mut records = trace(20, 10_000, Protocol::Udp, 4);
+        for (i, r) in records.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                r.protocol = Protocol::Tcp;
+            }
+        }
+        let (mut sim, q, _) = world(records, TcpConfig::default(), 10);
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert!((querier.answer_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_udp_retries_over_tcp() {
+        use ldp_zone::dnssec::SigningConfig;
+        use ldp_wire::Edns;
+        // The signed root's apex DNSKEY answer (two keys + signature)
+        // exceeds 512 bytes; a query with a small advertised payload gets
+        // TC over UDP and must fall back to TCP, paying the extra round
+        // trips but ultimately answering.
+        let mut zones = ZoneSet::new();
+        zones.insert(ldp_workload::zones::signed_root_zone(5, SigningConfig::zsk2048()));
+        let engine = Arc::new(AuthEngine::with_zones(Arc::new(zones)));
+
+        let mut rec = TraceRecord::udp_query(
+            1000,
+            "10.9.0.1".parse().unwrap(),
+            4000,
+            Name::root(),
+            RrType::Dnskey,
+        );
+        rec.message.edns = Some(Edns {
+            udp_payload_size: 512,
+            dnssec_ok: true,
+            ..Edns::default()
+        });
+
+        let mut sim = Sim::new();
+        let q = sim.add_node(Box::new(SimQuerier::new(
+            "10.9.9.9".parse().unwrap(),
+            "192.0.2.53".parse().unwrap(),
+            TcpConfig::default(),
+            vec![rec],
+        )));
+        let s = sim.add_node(Box::new(AuthServerNode::new(
+            "192.0.2.53".parse().unwrap(),
+            engine,
+            TcpConfig::default(),
+            ResourceModel::default(),
+        )));
+        sim.bind("10.9.9.9".parse().unwrap(), q);
+        sim.bind("192.0.2.53".parse().unwrap(), s);
+        sim.set_pair_delay(q, s, SimDuration::from_millis(20));
+        sim.run_until(SimTime::from_secs(5));
+
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        assert_eq!(querier.outcomes.len(), 1);
+        let o = &querier.outcomes[0];
+        assert!(o.tc_retried, "truncated answer must trigger TCP fallback");
+        // 1 RTT wasted on UDP+TC, then 2 RTT for connect+query = 3 RTT.
+        assert_eq!(o.latency_ms(), Some(120.0));
+        let server: &AuthServerNode = sim.node_as(s).unwrap();
+        assert_eq!(server.usage.udp_queries, 1);
+        assert_eq!(server.usage.stream_queries, 1);
+    }
+
+    #[test]
+    fn per_client_helpers() {
+        let (mut sim, q, _) = world(trace(30, 1000, Protocol::Udp, 3), TcpConfig::default(), 10);
+        sim.run_until(SimTime::from_secs(5));
+        let querier: &SimQuerier = sim.node_as(q).unwrap();
+        let counts = per_client_counts(&querier.outcomes);
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts.values().sum::<u64>(), 30);
+        let quiet = non_busy_latencies_ms(&querier.outcomes, 5);
+        assert!(quiet.is_empty(), "all 3 clients sent 10 ≥ 5 queries");
+        let all = non_busy_latencies_ms(&querier.outcomes, 100);
+        assert_eq!(all.len(), 30);
+    }
+}

@@ -1,0 +1,190 @@
+//! Resolver cache: TTL-respecting positive and negative caching.
+//!
+//! The cache is what makes recursive replay interesting — the paper's
+//! motivation for *trace* replay (vs. synthetic load) is that "caching,
+//! timeouts, and resource constraints" interact. Time is supplied by the
+//! caller in microseconds so the same cache runs under simulated or real
+//! clocks.
+
+use std::collections::HashMap;
+
+use ldp_wire::{Name, Record, RrType};
+
+/// A cached entry: records plus their absolute expiry.
+#[derive(Debug, Clone)]
+enum Entry {
+    Positive { records: Vec<Record>, expires_us: u64 },
+    /// NXDOMAIN/NODATA cached per RFC 2308 using the SOA minimum.
+    Negative { expires_us: u64 },
+}
+
+/// TTL-respecting resolver cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<(Name, RrType), Entry>,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit(Vec<Record>),
+    NegativeHit,
+    Miss,
+}
+
+impl Cache {
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// Looks up (name, type) at time `now_us`.
+    pub fn get(&mut self, name: &Name, rtype: RrType, now_us: u64) -> CacheOutcome {
+        match self.entries.get(&(name.clone(), rtype)) {
+            Some(Entry::Positive { records, expires_us }) if *expires_us > now_us => {
+                self.hits += 1;
+                CacheOutcome::Hit(records.clone())
+            }
+            Some(Entry::Negative { expires_us }) if *expires_us > now_us => {
+                self.hits += 1;
+                CacheOutcome::NegativeHit
+            }
+            _ => {
+                self.misses += 1;
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Caches a positive answer; TTL from the minimum record TTL.
+    pub fn put(&mut self, name: Name, rtype: RrType, records: Vec<Record>, now_us: u64) {
+        if records.is_empty() {
+            return;
+        }
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        self.entries.insert(
+            (name, rtype),
+            Entry::Positive {
+                records,
+                expires_us: now_us + ttl as u64 * 1_000_000,
+            },
+        );
+    }
+
+    /// Caches a negative answer for `ttl` seconds.
+    pub fn put_negative(&mut self, name: Name, rtype: RrType, ttl: u32, now_us: u64) {
+        self.entries.insert(
+            (name, rtype),
+            Entry::Negative {
+                expires_us: now_us + ttl as u64 * 1_000_000,
+            },
+        );
+    }
+
+    /// Removes expired entries (periodic housekeeping).
+    pub fn evict_expired(&mut self, now_us: u64) {
+        self.entries.retain(|_, e| match e {
+            Entry::Positive { expires_us, .. } | Entry::Negative { expires_us } => {
+                *expires_us > now_us
+            }
+        });
+    }
+
+    /// Number of live entries (including not-yet-evicted expired ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything (cold-cache experiment resets, §2.3).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::RData;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a_rec(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), ttl, RData::A("192.0.2.1".parse().unwrap()))
+    }
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn miss_then_hit_then_expiry() {
+        let mut c = Cache::new();
+        assert_eq!(c.get(&n("x.test"), RrType::A, 0), CacheOutcome::Miss);
+        c.put(n("x.test"), RrType::A, vec![a_rec("x.test", 30)], 0);
+        assert!(matches!(c.get(&n("x.test"), RrType::A, 29 * SEC), CacheOutcome::Hit(_)));
+        assert_eq!(c.get(&n("x.test"), RrType::A, 30 * SEC), CacheOutcome::Miss);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn minimum_ttl_governs() {
+        let mut c = Cache::new();
+        c.put(
+            n("x.test"),
+            RrType::A,
+            vec![a_rec("x.test", 300), a_rec("x.test", 10)],
+            0,
+        );
+        assert!(matches!(c.get(&n("x.test"), RrType::A, 9 * SEC), CacheOutcome::Hit(_)));
+        assert_eq!(c.get(&n("x.test"), RrType::A, 11 * SEC), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut c = Cache::new();
+        c.put_negative(n("nope.test"), RrType::A, 60, 0);
+        assert_eq!(
+            c.get(&n("nope.test"), RrType::A, 59 * SEC),
+            CacheOutcome::NegativeHit
+        );
+        assert_eq!(c.get(&n("nope.test"), RrType::A, 61 * SEC), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn types_are_separate() {
+        let mut c = Cache::new();
+        c.put(n("x.test"), RrType::A, vec![a_rec("x.test", 60)], 0);
+        assert_eq!(c.get(&n("x.test"), RrType::Aaaa, 0), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn empty_records_not_cached() {
+        let mut c = Cache::new();
+        c.put(n("x.test"), RrType::A, vec![], 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_and_clear() {
+        let mut c = Cache::new();
+        c.put(n("a.test"), RrType::A, vec![a_rec("a.test", 10)], 0);
+        c.put(n("b.test"), RrType::A, vec![a_rec("b.test", 100)], 0);
+        c.evict_expired(50 * SEC);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let mut c = Cache::new();
+        c.put(n("X.Test"), RrType::A, vec![a_rec("x.test", 60)], 0);
+        assert!(matches!(c.get(&n("x.TEST"), RrType::A, 0), CacheOutcome::Hit(_)));
+    }
+}

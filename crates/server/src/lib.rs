@@ -1,0 +1,25 @@
+//! DNS servers for the LDplayer reproduction.
+//!
+//! * [`auth`] — the authoritative answer engine: split-horizon zone
+//!   selection (the meta-DNS-server of §2.4) plus response assembly with
+//!   truncation handling,
+//! * [`resource`] — the calibrated resource model translating protocol
+//!   state (connections, handshakes, queries) into the memory/CPU numbers
+//!   the §5.2 experiments report,
+//! * [`cache`] — a TTL-respecting resolver cache with negative caching,
+//! * [`recursive`] — iterative resolution logic (root → TLD → SLD walks),
+//! * [`sim`] — [`ldp_netsim`] node wrappers: a full authoritative server
+//!   node (UDP/TCP/TLS) with resource sampling, and a recursive resolver
+//!   node,
+//! * [`live`] — a tokio-based authoritative server on real sockets for the
+//!   loopback replay-fidelity experiments (§4).
+
+pub mod auth;
+pub mod cache;
+pub mod live;
+pub mod recursive;
+pub mod resource;
+pub mod sim;
+
+pub use auth::AuthEngine;
+pub use resource::{ResourceModel, ResourceUsage};

@@ -1,0 +1,211 @@
+//! Live authoritative server on real sockets (tokio).
+//!
+//! The replay-fidelity experiments (§4) measure the *replay engine* against
+//! real time, so they need a real server to answer: this module serves the
+//! same [`AuthEngine`] over loopback UDP and TCP. Event-driven, one task per
+//! TCP connection, no blocking calls on the runtime — per the async
+//! networking guidance this codebase follows.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, UdpSocket};
+use tokio::task::JoinHandle;
+
+use ldp_wire::Message;
+
+use crate::auth::AuthEngine;
+
+/// Counters shared with the experiment harness.
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    pub udp_queries: AtomicU64,
+    pub tcp_queries: AtomicU64,
+    pub tcp_connections: AtomicU64,
+    pub malformed: AtomicU64,
+    pub response_bytes: AtomicU64,
+}
+
+/// A running live server; aborts its tasks on drop.
+pub struct LiveServer {
+    pub addr: SocketAddr,
+    pub stats: Arc<LiveStats>,
+    tasks: Vec<JoinHandle<()>>,
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+    }
+}
+
+impl LiveServer {
+    /// Binds UDP and TCP on `bind` (use port 0 for an ephemeral port) and
+    /// starts serving `engine`.
+    pub async fn spawn(engine: Arc<AuthEngine>, bind: SocketAddr) -> io::Result<LiveServer> {
+        let udp = UdpSocket::bind(bind).await?;
+        let addr = udp.local_addr()?;
+        let tcp = TcpListener::bind(addr).await?;
+        let stats = Arc::new(LiveStats::default());
+
+        let udp_task = tokio::spawn(serve_udp(udp, engine.clone(), stats.clone()));
+        let tcp_task = tokio::spawn(serve_tcp(tcp, engine, stats.clone()));
+        Ok(LiveServer {
+            addr,
+            stats,
+            tasks: vec![udp_task, tcp_task],
+        })
+    }
+}
+
+async fn serve_udp(socket: UdpSocket, engine: Arc<AuthEngine>, stats: Arc<LiveStats>) {
+    let socket = Arc::new(socket);
+    let mut buf = vec![0u8; 65_535];
+    loop {
+        let Ok((len, peer)) = socket.recv_from(&mut buf).await else {
+            continue;
+        };
+        let Ok(query) = Message::from_bytes(&buf[..len]) else {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        stats.udp_queries.fetch_add(1, Ordering::Relaxed);
+        let resp = engine.respond(peer.ip(), &query, false);
+        if let Ok(bytes) = resp.to_bytes() {
+            stats
+                .response_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            let _ = socket.send_to(&bytes, peer).await;
+        }
+    }
+}
+
+async fn serve_tcp(listener: TcpListener, engine: Arc<AuthEngine>, stats: Arc<LiveStats>) {
+    loop {
+        let Ok((stream, peer)) = listener.accept().await else {
+            continue;
+        };
+        stats.tcp_connections.fetch_add(1, Ordering::Relaxed);
+        let engine = engine.clone();
+        let stats = stats.clone();
+        tokio::spawn(async move {
+            let _ = serve_tcp_conn(stream, peer, engine, stats).await;
+        });
+    }
+}
+
+async fn serve_tcp_conn(
+    mut stream: tokio::net::TcpStream,
+    peer: SocketAddr,
+    engine: Arc<AuthEngine>,
+    stats: Arc<LiveStats>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        // RFC 1035 §4.2.2 framing: 2-byte length, then the message.
+        let mut lenbuf = [0u8; 2];
+        match stream.read_exact(&mut lenbuf).await {
+            Ok(_) => {}
+            Err(_) => return Ok(()), // peer closed
+        }
+        let len = u16::from_be_bytes(lenbuf) as usize;
+        let mut msg = vec![0u8; len];
+        stream.read_exact(&mut msg).await?;
+        let Ok(query) = Message::from_bytes(&msg) else {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        stats.tcp_queries.fetch_add(1, Ordering::Relaxed);
+        let resp = engine.respond(peer.ip(), &query, true);
+        let Ok(bytes) = resp.to_bytes() else { continue };
+        stats
+            .response_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let framed = ldp_wire::framing::frame_message(&bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "oversized response"))?;
+        stream.write_all(&framed).await?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::{Name, RData, Record, RrType};
+    use ldp_zone::{Zone, ZoneSet};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn engine() -> Arc<AuthEngine> {
+        let mut z = Zone::with_fake_soa(n("example.com"));
+        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        z.add(Record::new(n("*.wild.example.com"), 60, RData::A("192.0.2.99".parse().unwrap()))).unwrap();
+        let mut set = ZoneSet::new();
+        set.insert(z);
+        Arc::new(AuthEngine::with_zones(Arc::new(set)))
+    }
+
+    #[tokio::test]
+    async fn udp_roundtrip() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let q = Message::query(42, n("www.example.com"), RrType::A);
+        client.send_to(&q.to_bytes().unwrap(), server.addr).await.unwrap();
+        let mut buf = vec![0u8; 4096];
+        let (len, _) = client.recv_from(&mut buf).await.unwrap();
+        let resp = Message::from_bytes(&buf[..len]).unwrap();
+        assert_eq!(resp.header.id, 42);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(server.stats.udp_queries.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test]
+    async fn tcp_roundtrip_with_connection_reuse() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.addr).await.unwrap();
+        for i in 0..3u16 {
+            let q = Message::query(i, n(&format!("q{i}.wild.example.com")), RrType::A);
+            let framed = ldp_wire::framing::frame_message(&q.to_bytes().unwrap()).unwrap();
+            stream.write_all(&framed).await.unwrap();
+            let mut lenbuf = [0u8; 2];
+            stream.read_exact(&mut lenbuf).await.unwrap();
+            let mut msg = vec![0u8; u16::from_be_bytes(lenbuf) as usize];
+            stream.read_exact(&mut msg).await.unwrap();
+            let resp = Message::from_bytes(&msg).unwrap();
+            assert_eq!(resp.header.id, i);
+            assert_eq!(resp.answers.len(), 1, "wildcard answers each name");
+        }
+        assert_eq!(server.stats.tcp_queries.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            server.stats.tcp_connections.load(Ordering::Relaxed),
+            1,
+            "one connection reused for all three queries"
+        );
+    }
+
+    #[tokio::test]
+    async fn malformed_udp_ignored() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        client.send_to(&[1, 2, 3], server.addr).await.unwrap();
+        // Then a valid query still gets served.
+        let q = Message::query(1, n("www.example.com"), RrType::A);
+        client.send_to(&q.to_bytes().unwrap(), server.addr).await.unwrap();
+        let mut buf = vec![0u8; 4096];
+        let (len, _) = client.recv_from(&mut buf).await.unwrap();
+        assert!(Message::from_bytes(&buf[..len]).is_ok());
+        assert_eq!(server.stats.malformed.load(Ordering::Relaxed), 1);
+    }
+}

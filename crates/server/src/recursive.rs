@@ -1,0 +1,635 @@
+//! Recursive resolver core: iterative resolution down the DNS hierarchy.
+//!
+//! This is the component whose behaviour the hierarchy emulation must keep
+//! honest: with a cold cache it must actually walk root → TLD → SLD, making
+//! one round trip per level, because that query sequence is what the
+//! paper's recursive-replay experiments reproduce (§2.4's worked example).
+//!
+//! The core is transport-agnostic: callers feed it client queries and
+//! upstream responses, and it emits [`ResolverStep`]s (send-to-client /
+//! ask-upstream). [`crate::sim::RecursiveNode`] adapts it to the simulator;
+//! tests drive it directly.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr};
+
+use ldp_wire::{Message, Name, RData, Rcode, Record, RrType};
+
+use crate::cache::{Cache, CacheOutcome};
+
+/// Resolution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Maximum referral depth per query (root→TLD→SLD→… hops).
+    pub max_depth: usize,
+    /// Maximum CNAME chase restarts per client query.
+    pub max_cname_chase: usize,
+    /// Negative-cache TTL when the upstream SOA doesn't say (seconds).
+    pub default_negative_ttl: u32,
+    /// Retransmit an unanswered iterative query after this long (µs).
+    pub retry_timeout_us: u64,
+    /// Give up (SERVFAIL to the client) after this many retransmissions
+    /// of the same hop.
+    pub max_retries: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            max_depth: 16,
+            max_cname_chase: 8,
+            default_negative_ttl: 60,
+            retry_timeout_us: 2_000_000,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Actions the resolver wants performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolverStep {
+    /// Send a final response back to a client.
+    Respond { to: SocketAddr, message: Message },
+    /// Send an iterative query to an authoritative server.
+    Ask { server: IpAddr, message: Message },
+}
+
+#[derive(Debug)]
+struct Resolution {
+    client: SocketAddr,
+    client_id: u16,
+    /// The name currently being resolved (changes on CNAME chase).
+    qname: Name,
+    qtype: RrType,
+    /// The original question (for the response).
+    original_qname: Name,
+    dnssec_ok: bool,
+    depth: usize,
+    chase: usize,
+    /// Answer records accumulated across CNAME chases.
+    collected: Vec<Record>,
+    /// The hop currently in flight, for retransmission: (server, query).
+    last_ask: Option<(IpAddr, Message)>,
+    /// When the in-flight hop was (re)sent, µs on the caller's clock.
+    asked_at_us: u64,
+    /// Retransmissions of the current hop so far.
+    retries: u32,
+}
+
+/// The resolver state machine.
+pub struct ResolverCore {
+    /// Root server addresses (the hints file equivalent).
+    hints: Vec<IpAddr>,
+    pub cache: Cache,
+    config: ResolverConfig,
+    inflight: HashMap<u16, Resolution>,
+    next_id: u16,
+    /// Total client queries accepted.
+    pub client_queries: u64,
+    /// Total upstream (iterative) queries sent — the quantity that proves
+    /// the hierarchy walk really happens.
+    pub upstream_queries: u64,
+    /// Retransmissions issued by [`ResolverCore::on_tick`].
+    pub upstream_retries: u64,
+}
+
+impl ResolverCore {
+    pub fn new(hints: Vec<IpAddr>, config: ResolverConfig) -> ResolverCore {
+        ResolverCore {
+            hints,
+            cache: Cache::new(),
+            config,
+            inflight: HashMap::new(),
+            next_id: 1,
+            client_queries: 0,
+            upstream_queries: 0,
+            upstream_retries: 0,
+        }
+    }
+
+    fn alloc_id(&mut self) -> u16 {
+        // Skip ids currently in flight.
+        loop {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1).max(1);
+            if !self.inflight.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Handles a stub/client query.
+    pub fn on_client_query(
+        &mut self,
+        from: SocketAddr,
+        msg: &Message,
+        now_us: u64,
+    ) -> Vec<ResolverStep> {
+        self.client_queries += 1;
+        let Some(q) = msg.question() else {
+            let mut resp = Message::response_for(msg);
+            resp.header.rcode = Rcode::FormErr;
+            return vec![ResolverStep::Respond {
+                to: from,
+                message: resp,
+            }];
+        };
+        let (qname, qtype) = (q.qname.clone(), q.qtype);
+
+        // Cache first.
+        match self.cache.get(&qname, qtype, now_us) {
+            CacheOutcome::Hit(records) => {
+                let mut resp = Message::response_for(msg);
+                resp.header.recursion_available = true;
+                resp.answers = records;
+                return vec![ResolverStep::Respond {
+                    to: from,
+                    message: resp,
+                }];
+            }
+            CacheOutcome::NegativeHit => {
+                let mut resp = Message::response_for(msg);
+                resp.header.recursion_available = true;
+                resp.header.rcode = Rcode::NxDomain;
+                return vec![ResolverStep::Respond {
+                    to: from,
+                    message: resp,
+                }];
+            }
+            CacheOutcome::Miss => {}
+        }
+
+        let Some(&root) = self.hints.first() else {
+            let mut resp = Message::response_for(msg);
+            resp.header.rcode = Rcode::ServFail;
+            return vec![ResolverStep::Respond {
+                to: from,
+                message: resp,
+            }];
+        };
+        let id = self.alloc_id();
+        let message = iterative_query(id, qname.clone(), qtype, msg.dnssec_ok());
+        let resolution = Resolution {
+            client: from,
+            client_id: msg.header.id,
+            qname: qname.clone(),
+            qtype,
+            original_qname: qname.clone(),
+            dnssec_ok: msg.dnssec_ok(),
+            depth: 0,
+            chase: 0,
+            collected: Vec::new(),
+            last_ask: Some((root, message.clone())),
+            asked_at_us: now_us,
+            retries: 0,
+        };
+        self.inflight.insert(id, resolution);
+        self.upstream_queries += 1;
+        vec![ResolverStep::Ask {
+            server: root,
+            message,
+        }]
+    }
+
+    /// Drives retransmission: call periodically with the current time.
+    /// Unanswered hops older than the retry timeout are re-sent; after
+    /// `max_retries` the client gets SERVFAIL — without this, one lost
+    /// packet would strand the resolution forever.
+    pub fn on_tick(&mut self, now_us: u64) -> Vec<ResolverStep> {
+        let mut steps = Vec::new();
+        let mut give_up = Vec::new();
+        for (&id, res) in self.inflight.iter_mut() {
+            if now_us.saturating_sub(res.asked_at_us) < self.config.retry_timeout_us {
+                continue;
+            }
+            if res.retries >= self.config.max_retries {
+                give_up.push(id);
+                continue;
+            }
+            if let Some((server, message)) = res.last_ask.clone() {
+                res.retries += 1;
+                res.asked_at_us = now_us;
+                self.upstream_retries += 1;
+                steps.push(ResolverStep::Ask { server, message });
+            }
+        }
+        for id in give_up {
+            if let Some(res) = self.inflight.remove(&id) {
+                steps.push(self.finish(res, Rcode::ServFail));
+            }
+        }
+        steps
+    }
+
+    /// Handles a response from an authoritative server.
+    pub fn on_upstream_response(&mut self, msg: &Message, now_us: u64) -> Vec<ResolverStep> {
+        let Some(mut res) = self.inflight.remove(&msg.header.id) else {
+            return Vec::new(); // unsolicited or late
+        };
+
+        // NXDOMAIN: cache negative and answer.
+        if msg.header.rcode == Rcode::NxDomain {
+            let ttl = soa_minimum(msg).unwrap_or(self.config.default_negative_ttl);
+            self.cache
+                .put_negative(res.qname.clone(), res.qtype, ttl, now_us);
+            return vec![self.finish(res, Rcode::NxDomain)];
+        }
+        if msg.header.rcode != Rcode::NoError {
+            return vec![self.finish(res, msg.header.rcode)];
+        }
+
+        if !msg.answers.is_empty() {
+            // Final (or CNAME) answer.
+            res.collected.extend(msg.answers.iter().cloned());
+            let has_final = msg
+                .answers
+                .iter()
+                .any(|r| r.rtype == res.qtype || res.qtype == RrType::Any);
+            if has_final || res.qtype == RrType::Cname {
+                self.cache.put(
+                    res.original_qname.clone(),
+                    res.qtype,
+                    res.collected.clone(),
+                    now_us,
+                );
+                return vec![self.finish(res, Rcode::NoError)];
+            }
+            // CNAME chase: restart from the hints for the last target.
+            let target = msg.answers.iter().rev().find_map(|r| match &r.rdata {
+                RData::Cname(t) => Some(t.clone()),
+                _ => None,
+            });
+            let Some(target) = target else {
+                return vec![self.finish(res, Rcode::NoError)];
+            };
+            res.chase += 1;
+            if res.chase > self.config.max_cname_chase {
+                return vec![self.finish(res, Rcode::ServFail)];
+            }
+            res.qname = target.clone();
+            res.depth = 0;
+            let Some(&root) = self.hints.first() else {
+                return vec![self.finish(res, Rcode::ServFail)];
+            };
+            let id = self.alloc_id();
+            let message = iterative_query(id, target, res.qtype, res.dnssec_ok);
+            res.last_ask = Some((root, message.clone()));
+            res.asked_at_us = now_us;
+            res.retries = 0;
+            let ask = ResolverStep::Ask {
+                server: root,
+                message,
+            };
+            self.inflight.insert(id, res);
+            self.upstream_queries += 1;
+            return vec![ask];
+        }
+
+        // Referral: authority has NS records pointing down the tree.
+        let ns_names: Vec<Name> = msg
+            .authorities
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Ns(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        if ns_names.is_empty() {
+            // NODATA: name exists, no records of this type.
+            let ttl = soa_minimum(msg).unwrap_or(self.config.default_negative_ttl);
+            self.cache
+                .put_negative(res.qname.clone(), res.qtype, ttl, now_us);
+            return vec![self.finish(res, Rcode::NoError)];
+        }
+        res.depth += 1;
+        if res.depth > self.config.max_depth {
+            return vec![self.finish(res, Rcode::ServFail)];
+        }
+        // Find a glue address for any of the NS names.
+        let glue = msg.additionals.iter().find_map(|r| {
+            if ns_names.contains(&r.name) {
+                match &r.rdata {
+                    RData::A(a) => Some(IpAddr::V4(*a)),
+                    RData::Aaaa(a) => Some(IpAddr::V6(*a)),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        });
+        let Some(next_server) = glue else {
+            // Glueless delegation: the reconstructed zones always include
+            // glue (§2.3 harvests NS host addresses), so treat gluelessness
+            // as a broken hierarchy.
+            return vec![self.finish(res, Rcode::ServFail)];
+        };
+        let id = self.alloc_id();
+        let message = iterative_query(id, res.qname.clone(), res.qtype, res.dnssec_ok);
+        res.last_ask = Some((next_server, message.clone()));
+        res.asked_at_us = now_us;
+        res.retries = 0;
+        let ask = ResolverStep::Ask {
+            server: next_server,
+            message,
+        };
+        self.inflight.insert(id, res);
+        self.upstream_queries += 1;
+        vec![ask]
+    }
+
+    fn finish(&mut self, res: Resolution, rcode: Rcode) -> ResolverStep {
+        let mut resp = Message::default();
+        resp.header.id = res.client_id;
+        resp.header.response = true;
+        resp.header.recursion_desired = true;
+        resp.header.recursion_available = true;
+        resp.header.rcode = rcode;
+        resp.questions = vec![ldp_wire::Question::new(
+            res.original_qname.clone(),
+            res.qtype,
+        )];
+        resp.answers = res.collected;
+        ResolverStep::Respond {
+            to: res.client,
+            message: resp,
+        }
+    }
+
+    /// Number of in-flight resolutions.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+fn iterative_query(id: u16, qname: Name, qtype: RrType, dnssec_ok: bool) -> Message {
+    let mut m = Message::query(id, qname, qtype);
+    m.header.recursion_desired = false;
+    if dnssec_ok {
+        m.edns = Some(ldp_wire::Edns::with_do());
+    }
+    m
+}
+
+fn soa_minimum(msg: &Message) -> Option<u32> {
+    msg.authorities.iter().find_map(|r| match &r.rdata {
+        RData::Soa(soa) => Some(soa.minimum),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthEngine;
+    use ldp_wire::Record;
+    use ldp_zone::{ViewTable, Zone};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn sa(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    /// Drives the resolver against an in-process meta engine (no network).
+    /// The engine is split-horizon keyed by the *asked server address*,
+    /// exactly what the proxy pair synthesizes in the real deployment.
+    fn drive(
+        resolver: &mut ResolverCore,
+        engine: &AuthEngine,
+        client: SocketAddr,
+        query: Message,
+    ) -> (Message, usize) {
+        let mut hops = 0;
+        let mut steps = resolver.on_client_query(client, &query, 0);
+        loop {
+            assert!(hops < 64, "resolution did not converge");
+            let step = steps.pop().expect("resolver must emit a step");
+            match step {
+                ResolverStep::Respond { to, message } => {
+                    assert_eq!(to, client);
+                    return (message, hops);
+                }
+                ResolverStep::Ask { server, message } => {
+                    hops += 1;
+                    let answer = engine.respond(server, &message, false);
+                    steps = resolver.on_upstream_response(&answer, 0);
+                }
+            }
+        }
+    }
+
+    fn hierarchy_engine() -> AuthEngine {
+        let mut root = Zone::with_fake_soa(Name::root());
+        root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
+        root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+
+        let mut com = Zone::with_fake_soa(n("com"));
+        com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
+        com.add(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+
+        let mut sld = Zone::with_fake_soa(n("example.com"));
+        sld.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
+        sld.add(Record::new(n("ns1.example.com"), 3600, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+        sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        sld.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com")))).unwrap();
+
+        AuthEngine::with_views(ViewTable::from_nameserver_map(vec![
+            (ip("198.41.0.4"), root),
+            (ip("192.5.6.30"), com),
+            (ip("192.0.2.53"), sld),
+        ]))
+    }
+
+    fn resolver() -> ResolverCore {
+        ResolverCore::new(vec![ip("198.41.0.4")], ResolverConfig::default())
+    }
+
+    #[test]
+    fn cold_cache_walks_three_levels() {
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let q = Message::query(7, n("www.example.com"), RrType::A);
+        let (resp, hops) = drive(&mut r, &engine, sa("10.9.9.9:5353"), q);
+        assert_eq!(hops, 3, "root, com, example.com — one query each");
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert_eq!(resp.header.id, 7);
+        assert!(resp.header.recursion_available);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rdata, RData::A("192.0.2.80".parse().unwrap()));
+        assert_eq!(r.upstream_queries, 3);
+    }
+
+    #[test]
+    fn warm_cache_answers_locally() {
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let q = Message::query(7, n("www.example.com"), RrType::A);
+        drive(&mut r, &engine, sa("10.9.9.9:5353"), q.clone());
+        let (resp, hops) = drive(&mut r, &engine, sa("10.9.9.9:5353"), q);
+        assert_eq!(hops, 0, "second query must be a cache hit");
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(r.upstream_queries, 3, "no new upstream traffic");
+    }
+
+    #[test]
+    fn nxdomain_resolved_and_negatively_cached() {
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let q = Message::query(3, n("missing.example.com"), RrType::A);
+        let (resp, hops) = drive(&mut r, &engine, sa("10.9.9.9:5353"), q.clone());
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert_eq!(hops, 3);
+        let (resp2, hops2) = drive(&mut r, &engine, sa("10.9.9.9:5353"), q);
+        assert_eq!(resp2.header.rcode, Rcode::NxDomain);
+        assert_eq!(hops2, 0, "negative cache hit");
+    }
+
+    #[test]
+    fn cname_answer_included() {
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let q = Message::query(4, n("alias.example.com"), RrType::A);
+        let (resp, _) = drive(&mut r, &engine, sa("10.9.9.9:5353"), q);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        // The SLD chases the CNAME in-zone, so the answer has both records.
+        assert_eq!(resp.answers.len(), 2);
+        assert_eq!(resp.answers[0].rtype, RrType::Cname);
+        assert_eq!(resp.answers[1].rtype, RrType::A);
+    }
+
+    #[test]
+    fn unsolicited_response_ignored() {
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let stray = engine.respond(ip("198.41.0.4"), &Message::query(999, n("com"), RrType::Ns), false);
+        assert!(r.on_upstream_response(&stray, 0).is_empty());
+    }
+
+    #[test]
+    fn formerr_for_empty_question() {
+        let mut r = resolver();
+        let steps = r.on_client_query(sa("10.0.0.1:1"), &Message::default(), 0);
+        match &steps[0] {
+            ResolverStep::Respond { message, .. } => {
+                assert_eq!(message.header.rcode, Rcode::FormErr)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_hints_servfail() {
+        let mut r = ResolverCore::new(vec![], ResolverConfig::default());
+        let q = Message::query(1, n("x.test"), RrType::A);
+        let steps = r.on_client_query(sa("10.0.0.1:1"), &q, 0);
+        match &steps[0] {
+            ResolverStep::Respond { message, .. } => {
+                assert_eq!(message.header.rcode, Rcode::ServFail)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // A zone that refers forever to itself.
+        let mut evil = Zone::with_fake_soa(Name::root());
+        evil.add(Record::new(n("loop.test"), 60, RData::Ns(n("ns.loop.test")))).unwrap();
+        evil.add(Record::new(n("ns.loop.test"), 60, RData::A("198.41.0.4".parse().unwrap()))).unwrap();
+        let engine = AuthEngine::with_views(ViewTable::from_nameserver_map(vec![(
+            ip("198.41.0.4"),
+            evil,
+        )]));
+        let mut r = ResolverCore::new(
+            vec![ip("198.41.0.4")],
+            ResolverConfig {
+                max_depth: 4,
+                ..ResolverConfig::default()
+            },
+        );
+        let q = Message::query(1, n("x.loop.test"), RrType::A);
+        let (resp, hops) = drive(&mut r, &engine, sa("10.0.0.1:1"), q);
+        assert_eq!(resp.header.rcode, Rcode::ServFail);
+        assert!(hops <= 5);
+    }
+
+    #[test]
+    fn lost_upstream_answer_retransmits_then_servfails() {
+        let mut r = resolver();
+        let q = Message::query(1, n("www.example.com"), RrType::A);
+        let steps = r.on_client_query(sa("10.0.0.1:1"), &q, 0);
+        let first = match &steps[0] {
+            ResolverStep::Ask { server, message } => (*server, message.clone()),
+            other => panic!("{other:?}"),
+        };
+        // Nothing comes back. Before the timeout: no action.
+        assert!(r.on_tick(1_000_000).is_empty());
+        // After the timeout: the same hop is re-asked, verbatim.
+        let retry = r.on_tick(2_500_000);
+        match &retry[..] {
+            [ResolverStep::Ask { server, message }] => {
+                assert_eq!(*server, first.0);
+                assert_eq!(message, &first.1, "retransmission must be identical");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.upstream_retries, 1);
+        // Exhaust the retries; the final tick SERVFAILs to the client.
+        let mut t = 2_500_000u64;
+        let mut finished = false;
+        for _ in 0..5 {
+            t += 2_500_000;
+            for step in r.on_tick(t) {
+                if let ResolverStep::Respond { message, .. } = step {
+                    assert_eq!(message.header.rcode, Rcode::ServFail);
+                    finished = true;
+                }
+            }
+        }
+        assert!(finished, "resolution must not be stranded forever");
+        assert_eq!(r.inflight_count(), 0);
+    }
+
+    #[test]
+    fn retry_state_resets_per_hop() {
+        // A hop that *does* answer resets the retry budget for the next
+        // hop: drive one referral normally, then let the second hop lose
+        // packets and observe fresh retries.
+        let mut r = resolver();
+        let engine = hierarchy_engine();
+        let q = Message::query(2, n("www.example.com"), RrType::A);
+        let steps = r.on_client_query(sa("10.0.0.1:1"), &q, 0);
+        let (server, message) = match &steps[0] {
+            ResolverStep::Ask { server, message } => (*server, message.clone()),
+            other => panic!("{other:?}"),
+        };
+        let answer = engine.respond(server, &message, false);
+        let steps = r.on_upstream_response(&answer, 1_000_000);
+        assert!(matches!(steps[0], ResolverStep::Ask { .. }));
+        // The com hop times out once and retries with budget intact.
+        let retry = r.on_tick(3_500_000);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(r.upstream_retries, 1);
+    }
+
+    #[test]
+    fn dnssec_ok_propagates_upstream() {
+        let mut r = resolver();
+        let mut q = Message::query(1, n("www.example.com"), RrType::A);
+        q.edns = Some(ldp_wire::Edns::with_do());
+        let steps = r.on_client_query(sa("10.0.0.1:1"), &q, 0);
+        match &steps[0] {
+            ResolverStep::Ask { message, .. } => {
+                assert!(message.dnssec_ok());
+                assert!(!message.header.recursion_desired);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

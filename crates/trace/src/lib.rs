@@ -1,0 +1,65 @@
+//! DNS trace handling for the LDplayer reproduction (§2.5 of the paper).
+//!
+//! A trace is a time-ordered sequence of [`TraceRecord`]s — captured DNS
+//! queries (and optionally responses) with their timestamps, endpoint
+//! addresses, and transport. Three interchangeable on-disk formats mirror
+//! the paper's input pipeline (Figure 3):
+//!
+//! 1. [`capture`] — a compact binary packet-capture format, plus [`pcap`]
+//!    for real libpcap files (tcpdump/wireshark interchange),
+//! 2. [`text`] — column-based plain text for easy editing with any tool,
+//! 3. [`stream`] — a length-prefixed internal binary stream, the fast replay
+//!    input.
+//!
+//! [`mutate`] implements the query mutator: composable transforms (change
+//! transport, set the DO bit on a fraction of queries, rewrite names, …)
+//! applied while converting between formats, or live during replay.
+
+pub mod capture;
+pub mod mutate;
+pub mod pcap;
+pub mod record;
+pub mod stats;
+pub mod stream;
+pub mod text;
+
+pub use mutate::{Mutation, QueryMutator};
+pub use record::{Direction, Protocol, TraceRecord};
+pub use stats::TraceStats;
+
+use std::fmt;
+
+/// Errors across trace reading/writing/converting.
+#[derive(Debug)]
+pub enum TraceError {
+    Io(std::io::Error),
+    Wire(ldp_wire::WireError),
+    /// Malformed trace file content.
+    Format { offset: u64, reason: String },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Wire(e) => write!(f, "trace wire error: {e}"),
+            TraceError::Format { offset, reason } => {
+                write!(f, "malformed trace at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<ldp_wire::WireError> for TraceError {
+    fn from(e: ldp_wire::WireError) -> Self {
+        TraceError::Wire(e)
+    }
+}

@@ -1,0 +1,261 @@
+//! The query mutator (§2.5 of the paper): composable trace transforms for
+//! "what-if" experiments.
+//!
+//! The paper's headline mutations are reproduced directly:
+//! * [`Mutation::SetProtocol`] — "what if all DNS queries were TCP/TLS"
+//!   (§5.2),
+//! * [`Mutation::SetDoBit`] — raise the DNSSEC-requesting share from the
+//!   observed 72.3% to 100% (§5.1),
+//! * plus name prefixing (used by the evaluation to match replayed queries
+//!   to originals, §4.2), time scaling, EDNS payload control, and RD-bit
+//!   control.
+//!
+//! Mutations are deterministic given the seed, so a mutated replay is
+//! exactly repeatable (§2.1's repeatability requirement).
+
+use ldp_wire::Edns;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{Protocol, TraceRecord};
+
+/// A single transform applied to every record.
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Rewrite the transport of every query.
+    SetProtocol(Protocol),
+    /// Set (or clear) the EDNS DO bit on approximately `fraction` of the
+    /// queries (1.0 = all). Selection is pseudo-random but seeded.
+    SetDoBit { fraction: f64 },
+    /// Clear the DO bit everywhere.
+    ClearDoBit,
+    /// Prepend a label to every qname (e.g. a replay-trial marker so
+    /// replayed queries can be matched to originals).
+    PrefixQname(String),
+    /// Multiply every timestamp (2.0 = half speed, 0.5 = double speed).
+    ScaleTime(f64),
+    /// Shift every timestamp by a signed offset (µs); clamps at zero.
+    ShiftTime(i64),
+    /// Force a specific EDNS UDP payload size, creating the EDNS block if
+    /// absent.
+    SetEdnsPayload(u16),
+    /// Set or clear the RD bit.
+    SetRecursionDesired(bool),
+}
+
+/// A seeded pipeline of [`Mutation`]s.
+#[derive(Debug, Clone)]
+pub struct QueryMutator {
+    mutations: Vec<Mutation>,
+    rng: StdRng,
+}
+
+impl QueryMutator {
+    /// Creates an empty mutator; `seed` fixes all randomized choices.
+    pub fn new(seed: u64) -> QueryMutator {
+        QueryMutator {
+            mutations: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Appends a mutation to the pipeline (applied in push order).
+    pub fn push(mut self, m: Mutation) -> QueryMutator {
+        self.mutations.push(m);
+        self
+    }
+
+    /// Applies the pipeline to one record in place.
+    pub fn apply(&mut self, rec: &mut TraceRecord) {
+        for m in &self.mutations {
+            match m {
+                Mutation::SetProtocol(p) => rec.protocol = *p,
+                Mutation::SetDoBit { fraction } => {
+                    let set = *fraction >= 1.0 || self.rng.gen::<f64>() < *fraction;
+                    if set {
+                        rec.message.edns.get_or_insert_with(Edns::default).dnssec_ok = true;
+                    } else if let Some(e) = rec.message.edns.as_mut() {
+                        e.dnssec_ok = false;
+                    }
+                }
+                Mutation::ClearDoBit => {
+                    if let Some(e) = rec.message.edns.as_mut() {
+                        e.dnssec_ok = false;
+                    }
+                }
+                Mutation::PrefixQname(prefix) => {
+                    for q in &mut rec.message.questions {
+                        if let Ok(n) = q.qname.prepend(prefix.as_bytes()) {
+                            q.qname = n;
+                        }
+                    }
+                }
+                Mutation::ScaleTime(f) => {
+                    rec.time_us = (rec.time_us as f64 * f).round().max(0.0) as u64;
+                }
+                Mutation::ShiftTime(d) => {
+                    rec.time_us = rec.time_us.saturating_add_signed(*d);
+                }
+                Mutation::SetEdnsPayload(size) => {
+                    rec.message.edns.get_or_insert_with(Edns::default).udp_payload_size = *size;
+                }
+                Mutation::SetRecursionDesired(rd) => {
+                    rec.message.header.recursion_desired = *rd;
+                }
+            }
+        }
+    }
+
+    /// Applies the pipeline to a whole trace.
+    pub fn apply_all(&mut self, records: &mut [TraceRecord]) {
+        for rec in records {
+            self.apply(rec);
+        }
+    }
+}
+
+/// Convenience for the paper's §5.2 experiment: every query over TCP.
+pub fn all_tcp(seed: u64) -> QueryMutator {
+    QueryMutator::new(seed).push(Mutation::SetProtocol(Protocol::Tcp))
+}
+
+/// Convenience for §5.2: every query over TLS.
+pub fn all_tls(seed: u64) -> QueryMutator {
+    QueryMutator::new(seed).push(Mutation::SetProtocol(Protocol::Tls))
+}
+
+/// Extension (the intro's third what-if): every query over QUIC.
+pub fn all_quic(seed: u64) -> QueryMutator {
+    QueryMutator::new(seed).push(Mutation::SetProtocol(Protocol::Quic))
+}
+
+/// Convenience for §5.1: every query requests DNSSEC.
+pub fn all_dnssec(seed: u64) -> QueryMutator {
+    QueryMutator::new(seed).push(Mutation::SetDoBit { fraction: 1.0 })
+}
+
+/// Marker prefix used by the evaluation to match replayed queries with
+/// originals ("we match query with reply by prepending a unique string to
+/// every query names", §4.2).
+pub fn with_trial_marker(seed: u64, trial: u32) -> QueryMutator {
+    QueryMutator::new(seed).push(Mutation::PrefixQname(format!("t{trial}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::{Name, RrType};
+
+    fn recs(n: usize) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::udp_query(
+                    i as u64 * 100,
+                    "10.0.0.1".parse().unwrap(),
+                    4242,
+                    Name::parse(&format!("q{i}.example.com")).unwrap(),
+                    RrType::A,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn set_protocol_all() {
+        let mut trace = recs(10);
+        all_tcp(1).apply_all(&mut trace);
+        assert!(trace.iter().all(|r| r.protocol == Protocol::Tcp));
+        all_tls(1).apply_all(&mut trace);
+        assert!(trace.iter().all(|r| r.protocol == Protocol::Tls));
+    }
+
+    #[test]
+    fn do_bit_full_fraction() {
+        let mut trace = recs(10);
+        all_dnssec(1).apply_all(&mut trace);
+        assert!(trace.iter().all(|r| r.dnssec_ok()));
+    }
+
+    #[test]
+    fn do_bit_partial_fraction_is_seeded() {
+        let mut t1 = recs(2000);
+        let mut t2 = recs(2000);
+        QueryMutator::new(7)
+            .push(Mutation::SetDoBit { fraction: 0.723 })
+            .apply_all(&mut t1);
+        QueryMutator::new(7)
+            .push(Mutation::SetDoBit { fraction: 0.723 })
+            .apply_all(&mut t2);
+        assert_eq!(t1, t2, "same seed must give identical mutation");
+        let share = t1.iter().filter(|r| r.dnssec_ok()).count() as f64 / 2000.0;
+        assert!((share - 0.723).abs() < 0.05, "share {share} far from 0.723");
+        // Different seed differs somewhere.
+        let mut t3 = recs(2000);
+        QueryMutator::new(8)
+            .push(Mutation::SetDoBit { fraction: 0.723 })
+            .apply_all(&mut t3);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn clear_do_bit() {
+        let mut trace = recs(5);
+        all_dnssec(1).apply_all(&mut trace);
+        QueryMutator::new(1).push(Mutation::ClearDoBit).apply_all(&mut trace);
+        assert!(trace.iter().all(|r| !r.dnssec_ok()));
+    }
+
+    #[test]
+    fn prefix_qname() {
+        let mut trace = recs(3);
+        with_trial_marker(1, 4).apply_all(&mut trace);
+        assert_eq!(
+            trace[0].qname().unwrap(),
+            &Name::parse("t4.q0.example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn time_scale_and_shift() {
+        let mut trace = recs(3); // times 0, 100, 200
+        QueryMutator::new(1)
+            .push(Mutation::ScaleTime(2.0))
+            .push(Mutation::ShiftTime(-150))
+            .apply_all(&mut trace);
+        assert_eq!(trace[0].time_us, 0, "clamped at zero");
+        assert_eq!(trace[1].time_us, 50);
+        assert_eq!(trace[2].time_us, 250);
+    }
+
+    #[test]
+    fn edns_payload_created_if_missing() {
+        let mut trace = recs(1);
+        assert!(trace[0].message.edns.is_none());
+        QueryMutator::new(1)
+            .push(Mutation::SetEdnsPayload(1232))
+            .apply_all(&mut trace);
+        assert_eq!(trace[0].message.edns.as_ref().unwrap().udp_payload_size, 1232);
+    }
+
+    #[test]
+    fn pipeline_order_matters() {
+        let mut trace = recs(1);
+        QueryMutator::new(1)
+            .push(Mutation::PrefixQname("a".into()))
+            .push(Mutation::PrefixQname("b".into()))
+            .apply_all(&mut trace);
+        assert_eq!(
+            trace[0].qname().unwrap(),
+            &Name::parse("b.a.q0.example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn rd_bit_control() {
+        let mut trace = recs(1);
+        QueryMutator::new(1)
+            .push(Mutation::SetRecursionDesired(false))
+            .apply_all(&mut trace);
+        assert!(!trace[0].message.header.recursion_desired);
+    }
+}

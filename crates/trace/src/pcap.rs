@@ -1,0 +1,616 @@
+//! Real libpcap-format traces — the paper's actual input ("input is
+//! normally network traces in some binary format (for example, pcap)",
+//! §2.5).
+//!
+//! Reading: classic pcap (magic `0xa1b2c3d4`/`0xd4c3b2a1`, plus the
+//! nanosecond variants), both endiannesses, LINKTYPE_ETHERNET (1),
+//! LINKTYPE_RAW (101), and LINKTYPE_NULL (0) link layers, IPv4 and IPv6,
+//! UDP and TCP. DNS payloads are recognized by port (53 standard, 853
+//! DoT): UDP datagrams decode directly; for TCP the parser applies the
+//! RFC 1035 2-byte length framing to each segment payload — exact when
+//! messages align with segments (the dominant case for DNS's small
+//! messages), best-effort otherwise (segments that reassemble across
+//! packets are skipped and counted in [`PcapStats::skipped_tcp_segments`];
+//! full stream reassembly is out of scope for a replay *input* format,
+//! since replay needs queries, which fit in single segments).
+//!
+//! Writing: emits classic microsecond pcap with Ethernet framing, so
+//! harvested or synthesized traces open in tcpdump/wireshark.
+
+use std::io::{Read, Write};
+use std::net::IpAddr;
+
+use ldp_wire::Message;
+
+use crate::record::{Direction, Protocol, TraceRecord};
+use crate::TraceError;
+
+const MAGIC_US_BE: u32 = 0xa1b2c3d4;
+const MAGIC_US_LE: u32 = 0xd4c3b2a1;
+const MAGIC_NS_BE: u32 = 0xa1b23c4d;
+const MAGIC_NS_LE: u32 = 0x4d3cb2a1;
+
+const LINKTYPE_NULL: u32 = 0;
+const LINKTYPE_ETHERNET: u32 = 1;
+const LINKTYPE_RAW: u32 = 101;
+
+/// Parse statistics: what was recognized, what was skipped and why.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcapStats {
+    pub packets: u64,
+    pub dns_messages: u64,
+    /// Packets that were not IP, not UDP/TCP, or not on a DNS port.
+    pub non_dns_packets: u64,
+    /// DNS-port payloads that failed to decode as DNS.
+    pub undecodable: u64,
+    /// TCP segments on DNS ports whose payload did not align with the
+    /// 2-byte message framing (mid-stream segments).
+    pub skipped_tcp_segments: u64,
+    /// Truncated captures (caplen < len) whose payload was cut off.
+    pub truncated_captures: u64,
+}
+
+/// Reads a whole pcap file, extracting every DNS message as a
+/// [`TraceRecord`] (queries *and* responses; feed responses to the zone
+/// constructor, queries to the replay engine).
+pub fn read_pcap<R: Read>(mut input: R) -> Result<(Vec<TraceRecord>, PcapStats), TraceError> {
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    parse_pcap(&bytes)
+}
+
+/// Parses pcap bytes (see [`read_pcap`]).
+pub fn parse_pcap(bytes: &[u8]) -> Result<(Vec<TraceRecord>, PcapStats), TraceError> {
+    if bytes.len() < 24 {
+        return Err(fmt_err(0, "pcap shorter than global header"));
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let (big_endian, nanos) = match magic {
+        MAGIC_US_BE => (true, false),
+        MAGIC_US_LE => (false, false),
+        MAGIC_NS_BE => (true, true),
+        MAGIC_NS_LE => (false, true),
+        _ => return Err(fmt_err(0, "not a pcap file (bad magic)")),
+    };
+    let u32at = |off: usize| -> u32 {
+        let b: [u8; 4] = bytes[off..off + 4].try_into().expect("4 bytes");
+        if big_endian {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    };
+    let linktype = u32at(20);
+    let link_skip = match linktype {
+        LINKTYPE_ETHERNET => 14,
+        LINKTYPE_RAW => 0,
+        LINKTYPE_NULL => 4,
+        other => {
+            return Err(fmt_err(
+                20,
+                format!("unsupported pcap linktype {other} (need Ethernet/Raw/Null)"),
+            ))
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut stats = PcapStats::default();
+    let mut off = 24usize;
+    while off + 16 <= bytes.len() {
+        let ts_sec = u32at(off) as u64;
+        let ts_frac = u32at(off + 4) as u64;
+        let caplen = u32at(off + 8) as usize;
+        let origlen = u32at(off + 12) as usize;
+        off += 16;
+        if off + caplen > bytes.len() {
+            return Err(fmt_err(off as u64, "truncated pcap record"));
+        }
+        let frame = &bytes[off..off + caplen];
+        off += caplen;
+        stats.packets += 1;
+        if caplen < origlen {
+            stats.truncated_captures += 1;
+        }
+        let time_us = ts_sec * 1_000_000 + if nanos { ts_frac / 1_000 } else { ts_frac };
+        parse_frame(frame, link_skip, linktype, time_us, &mut records, &mut stats);
+    }
+    Ok((records, stats))
+}
+
+fn fmt_err(offset: u64, reason: impl Into<String>) -> TraceError {
+    TraceError::Format {
+        offset,
+        reason: reason.into(),
+    }
+}
+
+/// Parses one link-layer frame into zero or more DNS trace records.
+fn parse_frame(
+    frame: &[u8],
+    mut skip: usize,
+    linktype: u32,
+    time_us: u64,
+    records: &mut Vec<TraceRecord>,
+    stats: &mut PcapStats,
+) {
+    // Ethernet: check the ethertype and handle one VLAN tag.
+    let mut ip_version_hint = None;
+    if linktype == LINKTYPE_ETHERNET {
+        if frame.len() < 14 {
+            stats.non_dns_packets += 1;
+            return;
+        }
+        let mut ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        if ethertype == 0x8100 && frame.len() >= 18 {
+            // 802.1Q tag.
+            ethertype = u16::from_be_bytes([frame[16], frame[17]]);
+            skip = 18;
+        }
+        ip_version_hint = match ethertype {
+            0x0800 => Some(4),
+            0x86DD => Some(6),
+            _ => {
+                stats.non_dns_packets += 1;
+                return;
+            }
+        };
+    }
+    let Some(ip) = frame.get(skip..) else {
+        stats.non_dns_packets += 1;
+        return;
+    };
+    if ip.is_empty() {
+        stats.non_dns_packets += 1;
+        return;
+    }
+    let version = ip[0] >> 4;
+    if let Some(hint) = ip_version_hint {
+        if version != hint {
+            stats.non_dns_packets += 1;
+            return;
+        }
+    }
+    match version {
+        4 => parse_ipv4(ip, time_us, records, stats),
+        6 => parse_ipv6(ip, time_us, records, stats),
+        _ => stats.non_dns_packets += 1,
+    }
+}
+
+fn parse_ipv4(ip: &[u8], time_us: u64, records: &mut Vec<TraceRecord>, stats: &mut PcapStats) {
+    if ip.len() < 20 {
+        stats.non_dns_packets += 1;
+        return;
+    }
+    let ihl = (ip[0] & 0x0F) as usize * 4;
+    if ihl < 20 || ip.len() < ihl {
+        stats.non_dns_packets += 1;
+        return;
+    }
+    let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    let proto = ip[9];
+    let src = IpAddr::from(<[u8; 4]>::try_from(&ip[12..16]).expect("4 bytes"));
+    let dst = IpAddr::from(<[u8; 4]>::try_from(&ip[16..20]).expect("4 bytes"));
+    let end = total_len.clamp(ihl, ip.len());
+    parse_l4(proto, &ip[ihl..end], src, dst, time_us, records, stats);
+}
+
+fn parse_ipv6(ip: &[u8], time_us: u64, records: &mut Vec<TraceRecord>, stats: &mut PcapStats) {
+    if ip.len() < 40 {
+        stats.non_dns_packets += 1;
+        return;
+    }
+    let payload_len = u16::from_be_bytes([ip[4], ip[5]]) as usize;
+    let next_header = ip[6];
+    let src = IpAddr::from(<[u8; 16]>::try_from(&ip[8..24]).expect("16 bytes"));
+    let dst = IpAddr::from(<[u8; 16]>::try_from(&ip[24..40]).expect("16 bytes"));
+    let end = (40 + payload_len).min(ip.len());
+    // Extension headers are uncommon on DNS paths; handle the no-extension
+    // case and count the rest as non-DNS.
+    parse_l4(next_header, &ip[40..end], src, dst, time_us, records, stats);
+}
+
+fn parse_l4(
+    proto: u8,
+    payload: &[u8],
+    src: IpAddr,
+    dst: IpAddr,
+    time_us: u64,
+    records: &mut Vec<TraceRecord>,
+    stats: &mut PcapStats,
+) {
+    match proto {
+        17 => {
+            // UDP.
+            if payload.len() < 8 {
+                stats.non_dns_packets += 1;
+                return;
+            }
+            let sport = u16::from_be_bytes([payload[0], payload[1]]);
+            let dport = u16::from_be_bytes([payload[2], payload[3]]);
+            if !is_dns_port(sport) && !is_dns_port(dport) {
+                stats.non_dns_packets += 1;
+                return;
+            }
+            push_dns(
+                &payload[8..],
+                Protocol::Udp,
+                src,
+                sport,
+                dst,
+                dport,
+                time_us,
+                records,
+                stats,
+            );
+        }
+        6 => {
+            // TCP: framing heuristic on the segment payload.
+            if payload.len() < 20 {
+                stats.non_dns_packets += 1;
+                return;
+            }
+            let sport = u16::from_be_bytes([payload[0], payload[1]]);
+            let dport = u16::from_be_bytes([payload[2], payload[3]]);
+            if !is_dns_port(sport) && !is_dns_port(dport) {
+                stats.non_dns_packets += 1;
+                return;
+            }
+            let data_off = ((payload[12] >> 4) as usize) * 4;
+            if data_off < 20 || payload.len() < data_off {
+                stats.non_dns_packets += 1;
+                return;
+            }
+            let mut seg = &payload[data_off..];
+            if seg.is_empty() {
+                // Pure ACK/SYN/FIN: not an error, just no DNS payload.
+                return;
+            }
+            // Consume length-prefixed messages while they align exactly.
+            let mut any = false;
+            while seg.len() >= 2 {
+                let len = u16::from_be_bytes([seg[0], seg[1]]) as usize;
+                if len == 0 || seg.len() < 2 + len {
+                    break;
+                }
+                push_dns(
+                    &seg[2..2 + len],
+                    Protocol::Tcp,
+                    src,
+                    sport,
+                    dst,
+                    dport,
+                    time_us,
+                    records,
+                    stats,
+                );
+                any = true;
+                seg = &seg[2 + len..];
+            }
+            if !any || !seg.is_empty() {
+                stats.skipped_tcp_segments += 1;
+            }
+        }
+        _ => stats.non_dns_packets += 1,
+    }
+}
+
+fn is_dns_port(port: u16) -> bool {
+    port == ldp_wire::DNS_PORT || port == ldp_wire::DNS_TLS_PORT
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_dns(
+    dns: &[u8],
+    protocol: Protocol,
+    src: IpAddr,
+    src_port: u16,
+    dst: IpAddr,
+    dst_port: u16,
+    time_us: u64,
+    records: &mut Vec<TraceRecord>,
+    stats: &mut PcapStats,
+) {
+    match Message::from_bytes(dns) {
+        Ok(message) => {
+            let direction = if message.header.response {
+                Direction::Response
+            } else {
+                Direction::Query
+            };
+            stats.dns_messages += 1;
+            records.push(TraceRecord {
+                time_us,
+                src,
+                src_port,
+                dst,
+                dst_port,
+                protocol,
+                direction,
+                message,
+            });
+        }
+        Err(_) => stats.undecodable += 1,
+    }
+}
+
+/// Writes records as a classic (microsecond, big-endian) pcap file with
+/// Ethernet + IPv4/IPv6 + UDP framing, openable by tcpdump/wireshark.
+/// TCP-protocol records are written as UDP frames carrying the same DNS
+/// payload (a capture-visualization aid; the authoritative interchange
+/// formats remain `.ldpc`/`.ldps`).
+pub fn write_pcap<W: Write>(mut out: W, records: &[TraceRecord]) -> Result<(), TraceError> {
+    // Global header.
+    out.write_all(&MAGIC_US_BE.to_be_bytes())?;
+    out.write_all(&2u16.to_be_bytes())?; // version major
+    out.write_all(&4u16.to_be_bytes())?; // version minor
+    out.write_all(&0u32.to_be_bytes())?; // thiszone
+    out.write_all(&0u32.to_be_bytes())?; // sigfigs
+    out.write_all(&65_535u32.to_be_bytes())?; // snaplen
+    out.write_all(&LINKTYPE_ETHERNET.to_be_bytes())?;
+
+    for rec in records {
+        let dns = rec.message.to_bytes()?;
+        let mut frame = Vec::with_capacity(dns.len() + 64);
+        // Ethernet header: synthetic MACs, ethertype by family.
+        frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+        frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]);
+        match (rec.src, rec.dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => {
+                frame.extend_from_slice(&0x0800u16.to_be_bytes());
+                let udp_len = 8 + dns.len();
+                let total = 20 + udp_len;
+                frame.push(0x45);
+                frame.push(0);
+                frame.extend_from_slice(&(total as u16).to_be_bytes());
+                frame.extend_from_slice(&[0, 0, 0, 0]); // id, flags/frag
+                frame.push(64); // ttl
+                frame.push(17); // udp
+                frame.extend_from_slice(&[0, 0]); // checksum (omitted)
+                frame.extend_from_slice(&s.octets());
+                frame.extend_from_slice(&d.octets());
+                write_udp(&mut frame, rec, &dns);
+            }
+            (IpAddr::V6(s), IpAddr::V6(d)) => {
+                frame.extend_from_slice(&0x86DDu16.to_be_bytes());
+                let udp_len = 8 + dns.len();
+                frame.push(0x60);
+                frame.extend_from_slice(&[0, 0, 0]);
+                frame.extend_from_slice(&(udp_len as u16).to_be_bytes());
+                frame.push(17); // next header: udp
+                frame.push(64); // hop limit
+                frame.extend_from_slice(&s.octets());
+                frame.extend_from_slice(&d.octets());
+                write_udp(&mut frame, rec, &dns);
+            }
+            _ => {
+                return Err(fmt_err(0, "mixed v4/v6 endpoints in one record"));
+            }
+        }
+        // Record header.
+        out.write_all(&((rec.time_us / 1_000_000) as u32).to_be_bytes())?;
+        out.write_all(&((rec.time_us % 1_000_000) as u32).to_be_bytes())?;
+        out.write_all(&(frame.len() as u32).to_be_bytes())?;
+        out.write_all(&(frame.len() as u32).to_be_bytes())?;
+        out.write_all(&frame)?;
+    }
+    Ok(())
+}
+
+fn write_udp(frame: &mut Vec<u8>, rec: &TraceRecord, dns: &[u8]) {
+    frame.extend_from_slice(&rec.src_port.to_be_bytes());
+    frame.extend_from_slice(&rec.dst_port.to_be_bytes());
+    frame.extend_from_slice(&((8 + dns.len()) as u16).to_be_bytes());
+    frame.extend_from_slice(&[0, 0]); // checksum omitted (valid per RFC 768)
+    frame.extend_from_slice(dns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::{Name, RrType};
+
+    fn sample(n: usize) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::udp_query(
+                    1_000_000 + i as u64 * 2_500,
+                    format!("10.1.0.{}", 1 + i % 200).parse().unwrap(),
+                    (1500 + i) as u16,
+                    Name::parse(&format!("p{i}.example.com")).unwrap(),
+                    RrType::A,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_v4() {
+        let records = sample(20);
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, &records).unwrap();
+        let (back, stats) = parse_pcap(&bytes).unwrap();
+        assert_eq!(stats.packets, 20);
+        assert_eq!(stats.dns_messages, 20);
+        assert_eq!(stats.undecodable, 0);
+        assert_eq!(back.len(), records.len());
+        for (b, r) in back.iter().zip(&records) {
+            assert_eq!(b.time_us, r.time_us);
+            assert_eq!(b.src, r.src);
+            assert_eq!(b.src_port, r.src_port);
+            assert_eq!(b.dst, r.dst);
+            assert_eq!(b.message, r.message);
+            assert_eq!(b.direction, Direction::Query);
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_v6() {
+        let mut rec = TraceRecord::udp_query(
+            42,
+            "2001:db8::1".parse().unwrap(),
+            5353,
+            Name::parse("v6.test").unwrap(),
+            RrType::Aaaa,
+        );
+        rec.dst = "2001:db8::53".parse().unwrap();
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, std::slice::from_ref(&rec)).unwrap();
+        let (back, stats) = parse_pcap(&bytes).unwrap();
+        assert_eq!(stats.dns_messages, 1);
+        assert_eq!(back[0].src, rec.src);
+        assert_eq!(back[0].message, rec.message);
+    }
+
+    #[test]
+    fn little_endian_and_nanosecond_variants() {
+        // Re-encode the same capture with LE/ns headers by patching.
+        let records = sample(3);
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, &records).unwrap();
+        // Flip global header + record headers to little-endian.
+        let mut le = bytes.clone();
+        le[0..4].copy_from_slice(&MAGIC_US_LE.to_be_bytes());
+        for field in [4usize, 6] {
+            le[field..field + 2].rotate_left(1); // u16 version swap
+        }
+        for field in [8usize, 12, 16, 20] {
+            le[field..field + 4].reverse();
+        }
+        let mut off = 24;
+        while off + 16 <= le.len() {
+            for f in 0..4 {
+                le[off + f * 4..off + f * 4 + 4].reverse();
+            }
+            let caplen = u32::from_le_bytes(le[off + 8..off + 12].try_into().unwrap()) as usize;
+            off += 16 + caplen;
+        }
+        let (back, _) = parse_pcap(&le).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn non_dns_traffic_skipped() {
+        let records = sample(2);
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, &records).unwrap();
+        // Append an HTTP-port packet: clone a frame and patch its ports.
+        let mut extra = Vec::new();
+        write_pcap(&mut extra, &sample(1)).unwrap();
+        let mut tail = extra[24..].to_vec();
+        // UDP ports live at eth(14)+ip(20) = offset 16+34,35 (+16 rec hdr).
+        tail[16 + 34] = 0;
+        tail[16 + 35] = 80;
+        tail[16 + 36] = 0;
+        tail[16 + 37] = 80;
+        bytes.extend_from_slice(&tail);
+        let (back, stats) = parse_pcap(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(stats.non_dns_packets, 1);
+    }
+
+    #[test]
+    fn tcp_framed_messages_extracted() {
+        // Hand-build a raw-linktype pcap with one TCP segment carrying two
+        // framed DNS messages.
+        let q1 = Message::query(1, Name::parse("a.test").unwrap(), RrType::A)
+            .to_bytes()
+            .unwrap();
+        let q2 = Message::query(2, Name::parse("b.test").unwrap(), RrType::A)
+            .to_bytes()
+            .unwrap();
+        let mut payload = Vec::new();
+        for q in [&q1, &q2] {
+            payload.extend_from_slice(&(q.len() as u16).to_be_bytes());
+            payload.extend_from_slice(q);
+        }
+        // TCP header (20 bytes): sport 40000, dport 53, data offset 5.
+        let mut tcp = Vec::new();
+        tcp.extend_from_slice(&40_000u16.to_be_bytes());
+        tcp.extend_from_slice(&53u16.to_be_bytes());
+        tcp.extend_from_slice(&[0; 8]); // seq, ack
+        tcp.push(5 << 4);
+        tcp.extend_from_slice(&[0; 7]);
+        tcp.extend_from_slice(&payload);
+        // IPv4 header.
+        let total = 20 + tcp.len();
+        let mut ip = vec![0x45, 0];
+        ip.extend_from_slice(&(total as u16).to_be_bytes());
+        ip.extend_from_slice(&[0, 0, 0, 0, 64, 6, 0, 0]);
+        ip.extend_from_slice(&[10, 0, 0, 1]);
+        ip.extend_from_slice(&[10, 0, 0, 2]);
+        ip.extend_from_slice(&tcp);
+        // pcap with LINKTYPE_RAW.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_US_BE.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[0; 8]);
+        bytes.extend_from_slice(&65_535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts sec
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&ip);
+
+        let (back, stats) = parse_pcap(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(stats.dns_messages, 2);
+        assert_eq!(stats.skipped_tcp_segments, 0);
+        assert!(back.iter().all(|r| r.protocol == Protocol::Tcp));
+        assert_eq!(back[0].message.header.id, 1);
+        assert_eq!(back[1].message.header.id, 2);
+    }
+
+    #[test]
+    fn misaligned_tcp_segment_counted() {
+        // A DNS-port TCP segment whose payload is a partial message.
+        let mut tcp = Vec::new();
+        tcp.extend_from_slice(&53u16.to_be_bytes());
+        tcp.extend_from_slice(&40_000u16.to_be_bytes());
+        tcp.extend_from_slice(&[0; 8]);
+        tcp.push(5 << 4);
+        tcp.extend_from_slice(&[0; 7]);
+        tcp.extend_from_slice(&[0x10, 0x00, 1, 2, 3]); // claims 4096-byte msg
+        let total = 20 + tcp.len();
+        let mut ip = vec![0x45, 0];
+        ip.extend_from_slice(&(total as u16).to_be_bytes());
+        ip.extend_from_slice(&[0, 0, 0, 0, 64, 6, 0, 0]);
+        ip.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        ip.extend_from_slice(&tcp);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_US_BE.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[0; 8]);
+        bytes.extend_from_slice(&65_535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&[0; 8]);
+        bytes.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&ip);
+        let (back, stats) = parse_pcap(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(stats.skipped_tcp_segments, 1);
+    }
+
+    #[test]
+    fn garbage_and_truncation_rejected_cleanly() {
+        assert!(parse_pcap(b"not a pcap").is_err());
+        let records = sample(2);
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, &records).unwrap();
+        assert!(parse_pcap(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn responses_classified_by_qr_bit() {
+        let mut rec = sample(1).remove(0);
+        rec.message.header.response = true;
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, std::slice::from_ref(&rec)).unwrap();
+        let (back, _) = parse_pcap(&bytes).unwrap();
+        assert_eq!(back[0].direction, Direction::Response);
+    }
+}

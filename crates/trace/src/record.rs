@@ -1,0 +1,175 @@
+//! The in-memory trace record model.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr};
+
+use ldp_wire::{Message, Name, RrType};
+
+/// Transport a DNS message was (or should be) carried over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    Udp,
+    Tcp,
+    Tls,
+    /// DNS over QUIC (RFC 9250) — the extension transport; the paper's
+    /// intro names QUIC among its what-if questions.
+    Quic,
+}
+
+impl Protocol {
+    /// Single-byte tag used by the binary formats.
+    pub fn tag(self) -> u8 {
+        match self {
+            Protocol::Udp => 0,
+            Protocol::Tcp => 1,
+            Protocol::Tls => 2,
+            Protocol::Quic => 3,
+        }
+    }
+
+    /// Inverse of [`Protocol::tag`].
+    pub fn from_tag(tag: u8) -> Option<Protocol> {
+        match tag {
+            0 => Some(Protocol::Udp),
+            1 => Some(Protocol::Tcp),
+            2 => Some(Protocol::Tls),
+            3 => Some(Protocol::Quic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Udp => f.write_str("udp"),
+            Protocol::Tcp => f.write_str("tcp"),
+            Protocol::Tls => f.write_str("tls"),
+            Protocol::Quic => f.write_str("quic"),
+        }
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "udp" => Ok(Protocol::Udp),
+            "tcp" => Ok(Protocol::Tcp),
+            "tls" | "dot" => Ok(Protocol::Tls),
+            "quic" | "doq" => Ok(Protocol::Quic),
+            other => Err(format!("unknown protocol {other:?}")),
+        }
+    }
+}
+
+/// Whether a record is a query or a response (relative to the server whose
+/// traffic was captured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Query,
+    Response,
+}
+
+/// One captured (or synthesized) DNS message with its network context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Microseconds since the trace epoch (the paper works at µs precision;
+    /// inter-arrivals in Table 1 go down to 23 µs).
+    pub time_us: u64,
+    pub src: IpAddr,
+    pub src_port: u16,
+    pub dst: IpAddr,
+    pub dst_port: u16,
+    pub protocol: Protocol,
+    pub direction: Direction,
+    pub message: Message,
+}
+
+impl TraceRecord {
+    /// Builds a simple UDP query record, the common case in synthesis.
+    pub fn udp_query(time_us: u64, src: IpAddr, src_port: u16, qname: Name, qtype: RrType) -> Self {
+        TraceRecord {
+            time_us,
+            src,
+            src_port,
+            dst: IpAddr::V4(Ipv4Addr::new(192, 0, 2, 53)),
+            dst_port: ldp_wire::DNS_PORT,
+            protocol: Protocol::Udp,
+            direction: Direction::Query,
+            message: Message::query(0, qname, qtype),
+        }
+    }
+
+    /// Query name of the first question, if any.
+    pub fn qname(&self) -> Option<&Name> {
+        self.message.question().map(|q| &q.qname)
+    }
+
+    /// Query type of the first question, if any.
+    pub fn qtype(&self) -> Option<RrType> {
+        self.message.question().map(|q| q.qtype)
+    }
+
+    /// True when the DO bit is set.
+    pub fn dnssec_ok(&self) -> bool {
+        self.message.dnssec_ok()
+    }
+
+    /// The client identity used for same-source affinity: the source
+    /// address for queries, destination for responses.
+    pub fn client_addr(&self) -> IpAddr {
+        match self.direction {
+            Direction::Query => self.src,
+            Direction::Response => self.dst,
+        }
+    }
+
+    /// Time as float seconds (for stats/printing).
+    pub fn time_seconds(&self) -> f64 {
+        self.time_us as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_tags_roundtrip() {
+        for p in [Protocol::Udp, Protocol::Tcp, Protocol::Tls, Protocol::Quic] {
+            assert_eq!(Protocol::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Protocol::from_tag(9), None);
+    }
+
+    #[test]
+    fn protocol_text_roundtrip() {
+        for p in [Protocol::Udp, Protocol::Tcp, Protocol::Tls, Protocol::Quic] {
+            assert_eq!(p.to_string().parse::<Protocol>().unwrap(), p);
+        }
+        assert_eq!("dot".parse::<Protocol>().unwrap(), Protocol::Tls);
+        assert_eq!("doq".parse::<Protocol>().unwrap(), Protocol::Quic);
+        assert!("sctp".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn udp_query_accessors() {
+        let name = Name::parse("example.com").unwrap();
+        let rec = TraceRecord::udp_query(1_500_000, "10.0.0.1".parse().unwrap(), 4444, name.clone(), RrType::A);
+        assert_eq!(rec.qname().unwrap(), &name);
+        assert_eq!(rec.qtype().unwrap(), RrType::A);
+        assert!(!rec.dnssec_ok());
+        assert_eq!(rec.client_addr(), "10.0.0.1".parse::<IpAddr>().unwrap());
+        assert!((rec.time_seconds() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn client_addr_for_response() {
+        let name = Name::parse("example.com").unwrap();
+        let mut rec = TraceRecord::udp_query(0, "10.0.0.1".parse().unwrap(), 4444, name, RrType::A);
+        rec.direction = Direction::Response;
+        rec.dst = "10.0.0.9".parse().unwrap();
+        assert_eq!(rec.client_addr(), "10.0.0.9".parse::<IpAddr>().unwrap());
+    }
+}

@@ -1,0 +1,165 @@
+//! Trace statistics — the quantities Table 1 of the paper reports per
+//! trace: duration, mean/σ of query inter-arrival, distinct client count,
+//! and record count.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use crate::record::{Direction, TraceRecord};
+
+/// Summary statistics of a trace (queries only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of query records.
+    pub records: u64,
+    /// Distinct client (source) addresses.
+    pub client_ips: u64,
+    /// Trace duration in seconds (first to last query).
+    pub duration_s: f64,
+    /// Mean query inter-arrival time in seconds.
+    pub interarrival_mean_s: f64,
+    /// Standard deviation of inter-arrival time in seconds.
+    pub interarrival_stddev_s: f64,
+    /// Mean query rate (q/s) over the duration.
+    pub mean_rate_qps: f64,
+}
+
+impl TraceStats {
+    /// Computes stats over a record iterator (must be time-ordered, as
+    /// traces are). Non-query records are ignored.
+    pub fn compute<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> TraceStats {
+        let mut clients: HashSet<IpAddr> = HashSet::new();
+        let mut count: u64 = 0;
+        let mut first: Option<u64> = None;
+        let mut last: u64 = 0;
+        let mut prev: Option<u64> = None;
+        // Welford accumulation over inter-arrival gaps.
+        let mut n_gaps: u64 = 0;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for rec in records {
+            if rec.direction != Direction::Query {
+                continue;
+            }
+            count += 1;
+            clients.insert(rec.src);
+            first.get_or_insert(rec.time_us);
+            last = rec.time_us;
+            if let Some(p) = prev {
+                let gap = rec.time_us.saturating_sub(p) as f64 / 1e6;
+                n_gaps += 1;
+                let delta = gap - mean;
+                mean += delta / n_gaps as f64;
+                m2 += delta * (gap - mean);
+            }
+            prev = Some(rec.time_us);
+        }
+        let duration_s = match first {
+            Some(f) => (last - f) as f64 / 1e6,
+            None => 0.0,
+        };
+        let variance = if n_gaps > 1 { m2 / n_gaps as f64 } else { 0.0 };
+        TraceStats {
+            records: count,
+            client_ips: clients.len() as u64,
+            duration_s,
+            interarrival_mean_s: if n_gaps > 0 { mean } else { 0.0 },
+            interarrival_stddev_s: variance.sqrt(),
+            mean_rate_qps: if duration_s > 0.0 {
+                count as f64 / duration_s
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Formats a Table 1-style row: `inter-arrival ±stddev, clients, records`.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{:<12} {:>9.1}s  {:>11.6} ±{:<11.6} {:>9}  {:>11}",
+            label,
+            self.duration_s,
+            self.interarrival_mean_s,
+            self.interarrival_stddev_s,
+            self.client_ips,
+            self.records
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::{Name, RrType};
+
+    fn rec(t: u64, ip: &str) -> TraceRecord {
+        TraceRecord::udp_query(
+            t,
+            ip.parse().unwrap(),
+            4242,
+            Name::parse("x.test").unwrap(),
+            RrType::A,
+        )
+    }
+
+    #[test]
+    fn fixed_interarrival() {
+        // 1 ms fixed gaps: mean 0.001, stddev 0.
+        let recs: Vec<_> = (0..1001).map(|i| rec(i * 1000, "10.0.0.1")).collect();
+        let s = TraceStats::compute(&recs);
+        assert_eq!(s.records, 1001);
+        assert_eq!(s.client_ips, 1);
+        assert!((s.interarrival_mean_s - 0.001).abs() < 1e-12);
+        assert!(s.interarrival_stddev_s < 1e-12);
+        assert!((s.duration_s - 1.0).abs() < 1e-9);
+        assert!((s.mean_rate_qps - 1001.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn distinct_clients_counted() {
+        let recs = vec![rec(0, "10.0.0.1"), rec(10, "10.0.0.2"), rec(20, "10.0.0.1")];
+        let s = TraceStats::compute(&recs);
+        assert_eq!(s.client_ips, 2);
+    }
+
+    #[test]
+    fn responses_ignored() {
+        let mut r = rec(5, "10.0.0.9");
+        r.direction = Direction::Response;
+        let recs = vec![rec(0, "10.0.0.1"), r, rec(10, "10.0.0.1")];
+        let s = TraceStats::compute(&recs);
+        assert_eq!(s.records, 2);
+        assert_eq!(s.client_ips, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.duration_s, 0.0);
+        assert_eq!(s.mean_rate_qps, 0.0);
+    }
+
+    #[test]
+    fn single_record() {
+        let s = TraceStats::compute(&[rec(100, "10.0.0.1")]);
+        assert_eq!(s.records, 1);
+        assert_eq!(s.interarrival_mean_s, 0.0);
+    }
+
+    #[test]
+    fn variable_gaps_have_stddev() {
+        let recs = vec![rec(0, "a.b.c.d".parse::<std::net::IpAddr>().map(|_| "1.2.3.4").unwrap_or("1.2.3.4")), rec(1000, "1.2.3.4"), rec(3000, "1.2.3.4")];
+        let s = TraceStats::compute(&recs);
+        assert!((s.interarrival_mean_s - 0.0015).abs() < 1e-9);
+        assert!(s.interarrival_stddev_s > 0.0);
+    }
+
+    #[test]
+    fn table_row_contains_fields() {
+        let recs: Vec<_> = (0..10).map(|i| rec(i * 1000, "10.0.0.1")).collect();
+        let row = TraceStats::compute(&recs).table_row("syn-3");
+        assert!(row.contains("syn-3"));
+        assert!(row.contains("10"));
+    }
+}

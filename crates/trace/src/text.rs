@@ -1,0 +1,251 @@
+//! Column-based plain-text trace format — the human-editable middle stage
+//! of the mutation pipeline (Figure 3 of the paper: "convert network traces
+//! to human-readable plain text for flexible and user-friendly
+//! manipulation").
+//!
+//! One line per message:
+//!
+//! ```text
+//! time_us src_ip src_port dst_ip dst_port proto dir id qname qclass qtype flags
+//! ```
+//!
+//! `flags` is a comma-separated list from `rd`, `cd`, `do`, `aa`, `tc`,
+//! `ra`, `ad`, or `-` when none. Lines starting with `#` are comments.
+//!
+//! The text form carries the query-relevant fields only (a response's
+//! answer sections are not representable); converting a full capture to
+//! text and back is lossy by design — it is the *query* editing surface.
+
+use std::io::{BufRead, Write};
+use std::str::FromStr;
+
+use ldp_wire::{Edns, Message, Name, RrClass, RrType};
+
+use crate::record::{Direction, Protocol, TraceRecord};
+use crate::TraceError;
+
+/// Formats one record as a text line.
+pub fn format_line(rec: &TraceRecord) -> String {
+    let q = rec.message.question();
+    let (qname, qclass, qtype) = match q {
+        Some(q) => (q.qname.to_string(), q.qclass.to_string(), q.qtype.to_string()),
+        None => (".".into(), "IN".into(), "A".into()),
+    };
+    let mut flags = Vec::new();
+    let h = &rec.message.header;
+    if h.recursion_desired {
+        flags.push("rd");
+    }
+    if h.checking_disabled {
+        flags.push("cd");
+    }
+    if rec.message.dnssec_ok() {
+        flags.push("do");
+    }
+    if h.authoritative {
+        flags.push("aa");
+    }
+    if h.truncated {
+        flags.push("tc");
+    }
+    if h.recursion_available {
+        flags.push("ra");
+    }
+    if h.authentic_data {
+        flags.push("ad");
+    }
+    let flags = if flags.is_empty() {
+        "-".to_string()
+    } else {
+        flags.join(",")
+    };
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {}",
+        rec.time_us,
+        rec.src,
+        rec.src_port,
+        rec.dst,
+        rec.dst_port,
+        rec.protocol,
+        match rec.direction {
+            Direction::Query => "q",
+            Direction::Response => "r",
+        },
+        rec.message.header.id,
+        qname,
+        qclass,
+        qtype,
+        flags
+    )
+}
+
+/// Parses one text line back into a (query-shaped) record.
+pub fn parse_line(line: &str, lineno: u64) -> Result<TraceRecord, TraceError> {
+    let err = |reason: String| TraceError::Format {
+        offset: lineno,
+        reason,
+    };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 12 {
+        return Err(err(format!("expected 12 fields, got {}", fields.len())));
+    }
+    let time_us: u64 = fields[0].parse().map_err(|_| err("bad time".into()))?;
+    let src = fields[1].parse().map_err(|_| err("bad src ip".into()))?;
+    let src_port: u16 = fields[2].parse().map_err(|_| err("bad src port".into()))?;
+    let dst = fields[3].parse().map_err(|_| err("bad dst ip".into()))?;
+    let dst_port: u16 = fields[4].parse().map_err(|_| err("bad dst port".into()))?;
+    let protocol = Protocol::from_str(fields[5]).map_err(err)?;
+    let direction = match fields[6] {
+        "q" => Direction::Query,
+        "r" => Direction::Response,
+        d => return Err(err(format!("bad direction {d:?}"))),
+    };
+    let id: u16 = fields[7].parse().map_err(|_| err("bad id".into()))?;
+    let qname = Name::parse(fields[8]).map_err(|e| err(e.to_string()))?;
+    let qclass = RrClass::from_str(fields[9]).map_err(|e| err(e.to_string()))?;
+    let qtype = RrType::from_str(fields[10]).map_err(|e| err(e.to_string()))?;
+
+    let mut message = Message::query(id, qname, qtype);
+    message.questions[0].qclass = qclass;
+    message.header.recursion_desired = false;
+    if fields[11] != "-" {
+        for flag in fields[11].split(',') {
+            match flag {
+                "rd" => message.header.recursion_desired = true,
+                "cd" => message.header.checking_disabled = true,
+                "aa" => message.header.authoritative = true,
+                "tc" => message.header.truncated = true,
+                "ra" => message.header.recursion_available = true,
+                "ad" => message.header.authentic_data = true,
+                "do" => {
+                    message.edns.get_or_insert_with(Edns::default).dnssec_ok = true;
+                }
+                other => return Err(err(format!("unknown flag {other:?}"))),
+            }
+        }
+    }
+    if direction == Direction::Response {
+        message.header.response = true;
+    }
+    Ok(TraceRecord {
+        time_us,
+        src,
+        src_port,
+        dst,
+        dst_port,
+        protocol,
+        direction,
+        message,
+    })
+}
+
+/// Writes records as text, one line each.
+pub fn write_text<W: Write>(mut w: W, records: &[TraceRecord]) -> Result<(), TraceError> {
+    for rec in records {
+        writeln!(w, "{}", format_line(rec))?;
+    }
+    Ok(())
+}
+
+/// Reads a whole text trace, skipping blank lines and `#` comments.
+pub fn read_text<R: BufRead>(r: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed, i as u64 + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> TraceRecord {
+        let mut rec = TraceRecord::udp_query(
+            1234567,
+            "10.0.0.1".parse().unwrap(),
+            4242,
+            Name::parse("www.example.com").unwrap(),
+            RrType::Aaaa,
+        );
+        rec.message.header.id = 777;
+        rec.message.edns = Some(Edns::with_do());
+        rec
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let rec = sample();
+        let line = format_line(&rec);
+        let back = parse_line(&line, 1).unwrap();
+        assert_eq!(back.time_us, rec.time_us);
+        assert_eq!(back.qname(), rec.qname());
+        assert_eq!(back.qtype(), rec.qtype());
+        assert_eq!(back.message.header.id, 777);
+        assert!(back.dnssec_ok());
+        assert!(back.message.header.recursion_desired);
+        assert_eq!(back.protocol, Protocol::Udp);
+    }
+
+    #[test]
+    fn file_roundtrip_with_comments() {
+        let recs = vec![sample(), {
+            let mut r = sample();
+            r.time_us = 999;
+            r.protocol = Protocol::Tcp;
+            r.message.header.recursion_desired = false;
+            r.message.edns = None;
+            r
+        }];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"# a comment line\n\n");
+        write_text(&mut buf, &recs).unwrap();
+        let back = read_text(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].protocol, Protocol::Tcp);
+        assert!(!back[1].dnssec_ok());
+        assert!(!back[1].message.header.recursion_desired);
+    }
+
+    #[test]
+    fn no_flags_dash() {
+        let mut rec = sample();
+        rec.message.header.recursion_desired = false;
+        rec.message.edns = None;
+        let line = format_line(&rec);
+        assert!(line.ends_with(" -"), "{line}");
+        let back = parse_line(&line, 1).unwrap();
+        assert!(!back.message.header.recursion_desired);
+    }
+
+    #[test]
+    fn editability_change_type_in_text() {
+        // The whole point of the text stage: a sed-style edit must work.
+        let line = format_line(&sample());
+        let edited = line.replace(" udp ", " tcp ");
+        let back = parse_line(&edited, 1).unwrap();
+        assert_eq!(back.protocol, Protocol::Tcp);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_lineno() {
+        for bad in [
+            "not enough fields",
+            "x 10.0.0.1 1 10.0.0.2 2 udp q 1 a. IN A -",
+            "1 10.0.0.1 1 10.0.0.2 2 carrier q 1 a. IN A -",
+            "1 10.0.0.1 1 10.0.0.2 2 udp x 1 a. IN A -",
+            "1 10.0.0.1 1 10.0.0.2 2 udp q 1 a. IN A bogus",
+        ] {
+            match parse_line(bad, 42) {
+                Err(TraceError::Format { offset, .. }) => assert_eq!(offset, 42),
+                other => panic!("expected format error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+}

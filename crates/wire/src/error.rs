@@ -1,0 +1,73 @@
+//! Error type for wire encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete field could be read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A domain name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 octets in wire form.
+    NameTooLong(usize),
+    /// A compression pointer pointed forward or formed a loop.
+    BadCompressionPointer(u16),
+    /// Too many compression pointer hops (loop guard).
+    PointerLoop,
+    /// A label type other than `00` (plain) or `11` (pointer) was seen.
+    BadLabelType(u8),
+    /// Text representation of a name or record could not be parsed.
+    BadText(String),
+    /// The RDATA length did not match the decoded content.
+    BadRdataLength { expected: usize, actual: usize },
+    /// A message exceeded the maximum encodable size (65535 bytes).
+    MessageTooLong(usize),
+    /// Unknown or unsupported opcode/rcode/type encountered where a known
+    /// value is required.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadCompressionPointer(off) => {
+                write!(f, "bad compression pointer to offset {off}")
+            }
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type {b:#04x}"),
+            WireError::BadText(s) => write!(f, "bad text representation: {s}"),
+            WireError::BadRdataLength { expected, actual } => {
+                write!(f, "rdata length mismatch: expected {expected}, got {actual}")
+            }
+            WireError::MessageTooLong(n) => write!(f, "message of {n} bytes exceeds 65535"),
+            WireError::Unsupported(what) => write!(f, "unsupported {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { context: "header" };
+        assert!(e.to_string().contains("header"));
+        let e = WireError::BadRdataLength {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('3'));
+    }
+}

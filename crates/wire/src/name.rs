@@ -1,0 +1,377 @@
+//! Domain names.
+//!
+//! A [`Name`] is a sequence of labels stored lowercase (DNS names compare
+//! case-insensitively; LDplayer normalizes on construction so that zone
+//! lookups and trace matching are plain byte comparisons).
+
+use crate::error::WireError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name in wire form, including the root length octet.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name.
+///
+/// Internally stored as a vector of lowercase labels; the root name has zero
+/// labels. Display form always includes the trailing dot for the root and
+/// omits it otherwise only when empty (i.e. `.` for root, `example.com.`
+/// style otherwise), matching zone-file conventions.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Name {
+    labels: Vec<Box<[u8]>>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from raw labels. Labels are lowercased; empty labels are
+    /// rejected, as are labels over 63 octets.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out: Vec<Box<[u8]>> = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(WireError::BadText("empty label".into()));
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            out.push(l.to_ascii_lowercase().into_boxed_slice());
+        }
+        let name = Name { labels: out };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Parses dotted text form. Accepts an optional trailing dot. `"."` and
+    /// `""` both denote the root. Backslash escapes (`\.` and `\ddd`) are
+    /// supported as in zone files.
+    pub fn parse(text: &str) -> Result<Self, WireError> {
+        if text == "." || text.is_empty() {
+            return Ok(Name::root());
+        }
+        let bytes = text.as_bytes();
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    if i + 1 >= bytes.len() {
+                        return Err(WireError::BadText(format!("dangling escape in {text:?}")));
+                    }
+                    let c = bytes[i + 1];
+                    if c.is_ascii_digit() {
+                        if i + 3 >= bytes.len()
+                            || !bytes[i + 2].is_ascii_digit()
+                            || !bytes[i + 3].is_ascii_digit()
+                        {
+                            return Err(WireError::BadText(format!(
+                                "bad \\ddd escape in {text:?}"
+                            )));
+                        }
+                        let v = (bytes[i + 1] - b'0') as u32 * 100
+                            + (bytes[i + 2] - b'0') as u32 * 10
+                            + (bytes[i + 3] - b'0') as u32;
+                        if v > 255 {
+                            return Err(WireError::BadText(format!(
+                                "\\ddd escape out of range in {text:?}"
+                            )));
+                        }
+                        cur.push(v as u8);
+                        i += 4;
+                    } else {
+                        cur.push(c);
+                        i += 2;
+                    }
+                }
+                b'.' => {
+                    if cur.is_empty() {
+                        return Err(WireError::BadText(format!("empty label in {text:?}")));
+                    }
+                    labels.push(std::mem::take(&mut cur));
+                    i += 1;
+                }
+                c => {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            labels.push(cur);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over labels from leftmost (most specific) to rightmost.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_ref())
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.as_ref())
+    }
+
+    /// Length of the wire encoding (uncompressed), including the root octet.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// True if `self` is equal to or a subdomain of `ancestor`
+    /// (`www.example.com` is within `example.com` and `.`).
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - ancestor.labels.len();
+        self.labels[skip..] == ancestor.labels[..]
+    }
+
+    /// The immediate parent (`example.com` → `com`); `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Strips `suffix` labels from the right, keeping the leftmost
+    /// `label_count() - suffix` labels.
+    pub fn ancestor(&self, keep_rightmost: usize) -> Option<Name> {
+        if keep_rightmost > self.labels.len() {
+            return None;
+        }
+        Some(Name {
+            labels: self.labels[self.labels.len() - keep_rightmost..].to_vec(),
+        })
+    }
+
+    /// Prepends a label (`www` + `example.com` → `www.example.com`).
+    pub fn prepend(&self, label: &[u8]) -> Result<Name, WireError> {
+        let mut labels: Vec<&[u8]> = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label);
+        labels.extend(self.labels());
+        Name::from_labels(labels)
+    }
+
+    /// Concatenates `self` (as the left part) with `suffix`
+    /// (`www` ⊕ `example.com` → `www.example.com`).
+    pub fn concat(&self, suffix: &Name) -> Result<Name, WireError> {
+        Name::from_labels(self.labels().chain(suffix.labels()))
+    }
+
+    /// Replaces the leftmost label with `*`, used for wildcard synthesis.
+    pub fn to_wildcard(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            return None;
+        }
+        let mut labels: Vec<&[u8]> = vec![b"*"];
+        labels.extend(self.labels().skip(1));
+        Name::from_labels(labels).ok()
+    }
+
+    /// True if the leftmost label is `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.first_label() == Some(b"*".as_ref())
+    }
+
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+    /// right-to-left. Used for NSEC chains and sorted zone walks.
+    pub fn canonical_cmp(&self, other: &Name) -> std::cmp::Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return std::cmp::Ordering::Equal,
+                (None, Some(_)) => return std::cmp::Ordering::Less,
+                (Some(_), None) => return std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for l in &self.labels {
+            for &b in l.iter() {
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7e => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{b:03}")?,
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    // Names read better unquoted in test output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn root_roundtrip() {
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(n("."), Name::root());
+        assert_eq!(n(""), Name::root());
+        assert!(Name::root().is_root());
+        assert_eq!(Name::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("Example.COM").to_string(), "example.com.");
+        assert_eq!(n("example.com.").to_string(), "example.com.");
+        assert_eq!(n("a.b.c").label_count(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(n("WWW.Example.Com"), n("www.example.com"));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        n("AbC.net").hash(&mut h1);
+        n("abc.NET").hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn escapes() {
+        let name = n(r"a\.b.example");
+        assert_eq!(name.label_count(), 2);
+        assert_eq!(name.first_label().unwrap(), b"a.b");
+        assert_eq!(name.to_string(), r"a\.b.example.");
+        let esc = n(r"\097.example");
+        assert_eq!(esc.first_label().unwrap(), b"a");
+    }
+
+    #[test]
+    fn escape_errors() {
+        assert!(Name::parse(r"a\").is_err());
+        assert!(Name::parse(r"\999.example").is_err());
+        assert!(Name::parse("a..b").is_err());
+    }
+
+    #[test]
+    fn label_limits() {
+        let long = "a".repeat(63);
+        assert!(Name::parse(&long).is_ok());
+        let too_long = "a".repeat(64);
+        assert!(matches!(
+            Name::parse(&too_long),
+            Err(WireError::LabelTooLong(64))
+        ));
+        // Four 63-byte labels = 4*64+1 = 257 wire octets > 255.
+        let huge = format!("{long}.{long}.{long}.{long}");
+        assert!(matches!(Name::parse(&huge), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("www.example.com").is_subdomain_of(&Name::root()));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        assert_eq!(n("www.example.com").parent().unwrap(), n("example.com"));
+        assert_eq!(n("com").parent().unwrap(), Name::root());
+        assert!(Name::root().parent().is_none());
+        assert_eq!(n("a.b.c.d").ancestor(2).unwrap(), n("c.d"));
+        assert_eq!(n("a.b").ancestor(0).unwrap(), Name::root());
+        assert!(n("a.b").ancestor(3).is_none());
+    }
+
+    #[test]
+    fn prepend_concat() {
+        assert_eq!(
+            n("example.com").prepend(b"www").unwrap(),
+            n("www.example.com")
+        );
+        assert_eq!(n("www").concat(&n("example.com")).unwrap(), n("www.example.com"));
+        assert_eq!(n("x").concat(&Name::root()).unwrap(), n("x"));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(n("www.example.com").to_wildcard().unwrap(), n("*.example.com"));
+        assert!(n("*.example.com").is_wildcard());
+        assert!(!n("www.example.com").is_wildcard());
+        assert!(Name::root().to_wildcard().is_none());
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        use std::cmp::Ordering;
+        // RFC 4034 §6.1 example order.
+        let order = ["example", "a.example", "yljkjljk.a.example", "z.a.example", "zabc.a.example", "z.example"];
+        for w in order.windows(2) {
+            assert_eq!(n(w[0]).canonical_cmp(&n(w[1])), Ordering::Less, "{} < {}", w[0], w[1]);
+        }
+        assert_eq!(Name::root().canonical_cmp(&n("com")), Ordering::Less);
+    }
+
+    #[test]
+    fn wire_len() {
+        assert_eq!(n("example.com").wire_len(), 13); // 7+1 + 3+1 + 1
+    }
+}

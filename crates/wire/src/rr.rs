@@ -1,0 +1,284 @@
+//! Resource-record type and class codes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::WireError;
+
+/// DNS resource record types used by LDplayer.
+///
+/// Unknown codes are preserved via [`RrType::Unknown`] so traces containing
+/// exotic types round-trip unharmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Mx,
+    Txt,
+    Aaaa,
+    Srv,
+    /// EDNS0 pseudo-RR (RFC 6891).
+    Opt,
+    Ds,
+    Rrsig,
+    Nsec,
+    Dnskey,
+    Nsec3,
+    /// Any/all records (query-only meta type).
+    Any,
+    Unknown(u16),
+}
+
+impl RrType {
+    /// Numeric wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Ptr => 12,
+            RrType::Mx => 15,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Srv => 33,
+            RrType::Opt => 41,
+            RrType::Ds => 43,
+            RrType::Rrsig => 46,
+            RrType::Nsec => 47,
+            RrType::Dnskey => 48,
+            RrType::Nsec3 => 50,
+            RrType::Any => 255,
+            RrType::Unknown(c) => c,
+        }
+    }
+
+    /// Decodes a wire code; never fails (unknown codes are preserved).
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            12 => RrType::Ptr,
+            15 => RrType::Mx,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            33 => RrType::Srv,
+            41 => RrType::Opt,
+            43 => RrType::Ds,
+            46 => RrType::Rrsig,
+            47 => RrType::Nsec,
+            48 => RrType::Dnskey,
+            50 => RrType::Nsec3,
+            255 => RrType::Any,
+            c => RrType::Unknown(c),
+        }
+    }
+
+    /// True for the DNSSEC signature/record types that the DO bit requests.
+    pub fn is_dnssec(self) -> bool {
+        matches!(
+            self,
+            RrType::Ds | RrType::Rrsig | RrType::Nsec | RrType::Dnskey | RrType::Nsec3
+        )
+    }
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrType::A => f.write_str("A"),
+            RrType::Ns => f.write_str("NS"),
+            RrType::Cname => f.write_str("CNAME"),
+            RrType::Soa => f.write_str("SOA"),
+            RrType::Ptr => f.write_str("PTR"),
+            RrType::Mx => f.write_str("MX"),
+            RrType::Txt => f.write_str("TXT"),
+            RrType::Aaaa => f.write_str("AAAA"),
+            RrType::Srv => f.write_str("SRV"),
+            RrType::Opt => f.write_str("OPT"),
+            RrType::Ds => f.write_str("DS"),
+            RrType::Rrsig => f.write_str("RRSIG"),
+            RrType::Nsec => f.write_str("NSEC"),
+            RrType::Dnskey => f.write_str("DNSKEY"),
+            RrType::Nsec3 => f.write_str("NSEC3"),
+            RrType::Any => f.write_str("ANY"),
+            RrType::Unknown(c) => write!(f, "TYPE{c}"),
+        }
+    }
+}
+
+impl FromStr for RrType {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.to_ascii_uppercase();
+        Ok(match up.as_str() {
+            "A" => RrType::A,
+            "NS" => RrType::Ns,
+            "CNAME" => RrType::Cname,
+            "SOA" => RrType::Soa,
+            "PTR" => RrType::Ptr,
+            "MX" => RrType::Mx,
+            "TXT" => RrType::Txt,
+            "AAAA" => RrType::Aaaa,
+            "SRV" => RrType::Srv,
+            "OPT" => RrType::Opt,
+            "DS" => RrType::Ds,
+            "RRSIG" => RrType::Rrsig,
+            "NSEC" => RrType::Nsec,
+            "DNSKEY" => RrType::Dnskey,
+            "NSEC3" => RrType::Nsec3,
+            "ANY" | "*" => RrType::Any,
+            other => {
+                if let Some(num) = other.strip_prefix("TYPE") {
+                    let code: u16 = num
+                        .parse()
+                        .map_err(|_| WireError::BadText(format!("bad type {s:?}")))?;
+                    RrType::from_code(code)
+                } else {
+                    return Err(WireError::BadText(format!("unknown RR type {s:?}")));
+                }
+            }
+        })
+    }
+}
+
+/// DNS class. Effectively always `IN` in modern traffic; `CH` appears for
+/// `version.bind`-style diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrClass {
+    In,
+    Ch,
+    Hs,
+    None,
+    Any,
+    Unknown(u16),
+}
+
+impl RrClass {
+    /// Numeric wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrClass::In => 1,
+            RrClass::Ch => 3,
+            RrClass::Hs => 4,
+            RrClass::None => 254,
+            RrClass::Any => 255,
+            RrClass::Unknown(c) => c,
+        }
+    }
+
+    /// Decodes a wire code; unknown codes are preserved.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RrClass::In,
+            3 => RrClass::Ch,
+            4 => RrClass::Hs,
+            254 => RrClass::None,
+            255 => RrClass::Any,
+            c => RrClass::Unknown(c),
+        }
+    }
+}
+
+impl fmt::Display for RrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrClass::In => f.write_str("IN"),
+            RrClass::Ch => f.write_str("CH"),
+            RrClass::Hs => f.write_str("HS"),
+            RrClass::None => f.write_str("NONE"),
+            RrClass::Any => f.write_str("ANY"),
+            RrClass::Unknown(c) => write!(f, "CLASS{c}"),
+        }
+    }
+}
+
+impl FromStr for RrClass {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.to_ascii_uppercase().as_str() {
+            "IN" => RrClass::In,
+            "CH" => RrClass::Ch,
+            "HS" => RrClass::Hs,
+            "NONE" => RrClass::None,
+            "ANY" => RrClass::Any,
+            other => {
+                if let Some(num) = other.strip_prefix("CLASS") {
+                    let code: u16 = num
+                        .parse()
+                        .map_err(|_| WireError::BadText(format!("bad class {s:?}")))?;
+                    RrClass::from_code(code)
+                } else {
+                    return Err(WireError::BadText(format!("unknown RR class {s:?}")));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for code in 0..300u16 {
+            assert_eq!(RrType::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn class_codes_roundtrip() {
+        for code in 0..300u16 {
+            assert_eq!(RrClass::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn type_text_roundtrip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Srv,
+            RrType::Ds,
+            RrType::Rrsig,
+            RrType::Nsec,
+            RrType::Dnskey,
+            RrType::Unknown(777),
+        ] {
+            let text = t.to_string();
+            assert_eq!(text.parse::<RrType>().unwrap(), t, "{text}");
+        }
+        assert_eq!("a".parse::<RrType>().unwrap(), RrType::A);
+        assert!("BOGUS".parse::<RrType>().is_err());
+        assert!("TYPEabc".parse::<RrType>().is_err());
+    }
+
+    #[test]
+    fn class_text_roundtrip() {
+        for c in [RrClass::In, RrClass::Ch, RrClass::Any, RrClass::Unknown(42)] {
+            assert_eq!(c.to_string().parse::<RrClass>().unwrap(), c);
+        }
+        assert!("XX".parse::<RrClass>().is_err());
+    }
+
+    #[test]
+    fn dnssec_predicate() {
+        assert!(RrType::Rrsig.is_dnssec());
+        assert!(RrType::Dnskey.is_dnssec());
+        assert!(!RrType::A.is_dnssec());
+        assert!(!RrType::Opt.is_dnssec());
+    }
+}

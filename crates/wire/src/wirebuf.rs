@@ -1,0 +1,384 @@
+//! Low-level wire buffer reader/writer with DNS name compression.
+//!
+//! [`WireWriter`] tracks name offsets already emitted and compresses later
+//! occurrences with pointers (RFC 1035 §4.1.4). [`WireReader`] resolves
+//! pointers with a hop limit to reject loops.
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::error::WireError;
+use crate::name::Name;
+
+/// Maximum pointer hops while decompressing one name; real messages need a
+/// handful, so this comfortably rejects loops without false positives.
+const MAX_POINTER_HOPS: usize = 64;
+
+/// Growable output buffer that records name positions for compression.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Map from name suffix (length-prefixed label bytes, already lowercase)
+    /// to the offset of its first occurrence. Only offsets < 0x4000 are
+    /// usable as pointers.
+    name_offsets: HashMap<Vec<u8>, u16>,
+    /// When false, names are always written uncompressed (ablation knob and
+    /// required inside RRSIG rdata per RFC 4034 §3.1.7).
+    compress: bool,
+}
+
+impl WireWriter {
+    /// New writer with compression enabled.
+    pub fn new() -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            name_offsets: HashMap::new(),
+            compress: true,
+        }
+    }
+
+    /// New writer with compression disabled.
+    pub fn uncompressed() -> Self {
+        WireWriter {
+            compress: false,
+            ..WireWriter::new()
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_ipv4(&mut self, v: Ipv4Addr) {
+        self.buf.extend_from_slice(&v.octets());
+    }
+
+    pub fn put_ipv6(&mut self, v: Ipv6Addr) {
+        self.buf.extend_from_slice(&v.octets());
+    }
+
+    /// Overwrites the two bytes at `offset` (used to patch RDLENGTH after
+    /// the rdata is written, since compression makes lengths unpredictable).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a domain name, compressing against previously written names
+    /// when enabled.
+    pub fn put_name(&mut self, name: &Name) -> Result<(), WireError> {
+        let labels: Vec<&[u8]> = name.labels().collect();
+        for i in 0..labels.len() {
+            // Try to point at an already-written suffix starting at label i.
+            if self.compress {
+                let suffix = suffix_key(&labels[i..]);
+                if let Some(&off) = self.name_offsets.get(&suffix) {
+                    self.put_u16(0xC000 | off);
+                    return Ok(());
+                }
+                // Remember this suffix position for future compression.
+                if self.buf.len() < 0x4000 {
+                    self.name_offsets.insert(suffix, self.buf.len() as u16);
+                }
+            }
+            let label = labels[i];
+            debug_assert!(label.len() <= 63);
+            self.put_u8(label.len() as u8);
+            self.put_slice(label);
+        }
+        self.put_u8(0);
+        Ok(())
+    }
+}
+
+fn suffix_key(labels: &[&[u8]]) -> Vec<u8> {
+    let mut s = Vec::new();
+    for l in labels {
+        s.push(l.len() as u8);
+        s.extend_from_slice(l);
+    }
+    s
+}
+
+/// Cursor over a received message. Keeps the whole message around so
+/// compression pointers can be chased.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    msg: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// New reader positioned at the start of `msg`.
+    pub fn new(msg: &'a [u8]) -> Self {
+        WireReader { msg, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.msg.len().saturating_sub(self.pos)
+    }
+
+    /// Moves the cursor to an absolute position.
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.msg.len() {
+            return Err(WireError::Truncated { context: "seek" });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    pub fn read_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        if self.pos >= self.msg.len() {
+            return Err(WireError::Truncated { context });
+        }
+        let v = self.msg[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub fn read_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let b = self.read_bytes(2, context)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn read_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.read_bytes(4, context)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn read_bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { context });
+        }
+        let s = &self.msg[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_ipv4(&mut self) -> Result<Ipv4Addr, WireError> {
+        let b = self.read_bytes(4, "ipv4")?;
+        Ok(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+    }
+
+    pub fn read_ipv6(&mut self) -> Result<Ipv6Addr, WireError> {
+        let b = self.read_bytes(16, "ipv6")?;
+        let mut o = [0u8; 16];
+        o.copy_from_slice(b);
+        Ok(Ipv6Addr::from(o))
+    }
+
+    /// Reads a (possibly compressed) domain name at the cursor. The cursor
+    /// advances past the name's first pointer or terminating root label;
+    /// pointer targets are followed without moving the cursor further.
+    pub fn read_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = self.pos;
+        // After the first pointer, the cursor no longer tracks `pos`.
+        let mut cursor_done = false;
+        let mut hops = 0usize;
+        loop {
+            if pos >= self.msg.len() {
+                return Err(WireError::Truncated { context: "name" });
+            }
+            let len = self.msg[pos];
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        pos += 1;
+                        if !cursor_done {
+                            self.pos = pos;
+                        }
+                        return Name::from_labels(labels);
+                    }
+                    let start = pos + 1;
+                    let end = start + len as usize;
+                    if end > self.msg.len() {
+                        return Err(WireError::Truncated { context: "label" });
+                    }
+                    labels.push(self.msg[start..end].to_vec());
+                    pos = end;
+                }
+                0xC0 => {
+                    if pos + 1 >= self.msg.len() {
+                        return Err(WireError::Truncated { context: "pointer" });
+                    }
+                    let target =
+                        (((len & 0x3F) as u16) << 8 | self.msg[pos + 1] as u16) as usize;
+                    // Pointers must point strictly backwards to already-seen
+                    // data; forward pointers are malformed and can loop.
+                    if target >= pos {
+                        return Err(WireError::BadCompressionPointer(target as u16));
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::PointerLoop);
+                    }
+                    if !cursor_done {
+                        self.pos = pos + 2;
+                        cursor_done = true;
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEADBEEF);
+        w.put_ipv4(Ipv4Addr::new(192, 0, 2, 1));
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u8("t").unwrap(), 7);
+        assert_eq!(r.read_u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.read_u32("t").unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_ipv4().unwrap(), Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_u8("end").is_err());
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let mut w = WireWriter::uncompressed();
+        w.put_name(&n("www.example.com")).unwrap();
+        w.put_name(&n("example.com")).unwrap();
+        let bytes = w.into_bytes();
+        // No pointers: 17 + 13 bytes.
+        assert_eq!(bytes.len(), 17 + 13);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.read_name().unwrap(), n("example.com"));
+    }
+
+    #[test]
+    fn name_compression_reuses_suffix() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("www.example.com")).unwrap();
+        let first_len = w.len();
+        w.put_name(&n("example.com")).unwrap();
+        // Second name is a single 2-byte pointer.
+        assert_eq!(w.len(), first_len + 2);
+        w.put_name(&n("ftp.example.com")).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.read_name().unwrap(), n("example.com"));
+        assert_eq!(r.read_name().unwrap(), n("ftp.example.com"));
+    }
+
+    #[test]
+    fn root_name() {
+        let mut w = WireWriter::new();
+        w.put_name(&Name::root()).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        let mut r = WireReader::new(&bytes);
+        assert!(r.read_name().unwrap().is_root());
+    }
+
+    #[test]
+    fn cursor_lands_after_pointer() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("a.example")).unwrap();
+        w.put_name(&n("a.example")).unwrap();
+        w.put_u16(0x1234);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.read_name().unwrap();
+        r.read_name().unwrap();
+        assert_eq!(r.read_u16("tail").unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn rejects_forward_pointer() {
+        // Pointer to itself.
+        let bytes = [0xC0u8, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.read_name(),
+            Err(WireError::BadCompressionPointer(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_label_type() {
+        let bytes = [0x80u8, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::BadLabelType(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_label() {
+        let bytes = [5u8, b'a', b'b'];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let bytes = [1u8, b'a'];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn patch_u16_fixes_placeholder() {
+        let mut w = WireWriter::new();
+        w.put_u16(0);
+        let at = 0;
+        w.put_slice(b"abc");
+        w.patch_u16(at, 3);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..2], &[0, 3]);
+    }
+}

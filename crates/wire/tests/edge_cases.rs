@@ -1,0 +1,154 @@
+//! Adversarial wire-format corpus: hand-crafted malformed and boundary
+//! messages that a replay server will see from the wild (the paper's
+//! testbed replays captured traffic verbatim, malformations included).
+
+use ldp_wire::{Edns, Message, Name, RData, Record, RrType, WireWriter};
+
+/// Builds a raw message: header with the given counts, then `body`.
+fn raw(qd: u16, an: u16, ns: u16, ar: u16, body: &[u8]) -> Vec<u8> {
+    let mut m = Vec::new();
+    m.extend_from_slice(&0x1234u16.to_be_bytes());
+    m.extend_from_slice(&0u16.to_be_bytes());
+    for c in [qd, an, ns, ar] {
+        m.extend_from_slice(&c.to_be_bytes());
+    }
+    m.extend_from_slice(body);
+    m
+}
+
+#[test]
+fn counts_exceeding_body_are_truncation_errors() {
+    // Claims one question but provides none.
+    assert!(Message::from_bytes(&raw(1, 0, 0, 0, &[])).is_err());
+    // Claims 65535 answers with an empty body.
+    assert!(Message::from_bytes(&raw(0, u16::MAX, 0, 0, &[])).is_err());
+}
+
+#[test]
+fn pointer_into_header_rejected() {
+    // A name that is a pointer to offset 0 (the ID field — gibberish but
+    // backwards, so it parses the bytes there as labels). Offset 0 holds
+    // 0x12 which reads as an 18-byte label extending past... it must
+    // error, never hang or panic.
+    let mut body = vec![0xC0, 0x00];
+    body.extend_from_slice(&RrType::A.code().to_be_bytes());
+    body.extend_from_slice(&1u16.to_be_bytes());
+    let res = Message::from_bytes(&raw(1, 0, 0, 0, &body));
+    assert!(res.is_err());
+}
+
+#[test]
+fn self_referencing_pointer_chain_rejected() {
+    // Two pointers that point at each other (offsets 12 and 14).
+    let body = vec![0xC0, 14, 0xC0, 12];
+    assert!(Message::from_bytes(&raw(1, 0, 0, 0, &body)).is_err());
+}
+
+#[test]
+fn maximum_label_and_name_sizes() {
+    let label63 = "a".repeat(63);
+    // 3 × 63 + 61 + dots = 253 text chars ⇒ 255 wire bytes: the maximum.
+    let name = Name::parse(&format!(
+        "{label63}.{label63}.{label63}.{}",
+        "a".repeat(61)
+    ))
+    .unwrap();
+    assert_eq!(name.wire_len(), 255);
+    let msg = Message::query(1, name.clone(), RrType::A);
+    let bytes = msg.to_bytes().unwrap();
+    let back = Message::from_bytes(&bytes).unwrap();
+    assert_eq!(back.question().unwrap().qname, name);
+    // One more byte is too many.
+    assert!(Name::parse(&format!("{label63}.{label63}.{label63}.{}", "a".repeat(62))).is_err());
+}
+
+#[test]
+fn case_preserved_through_wire_comparison_insensitive() {
+    // Wire decoding lowercases (we normalize); two casings must decode to
+    // equal names and hit the same compression slots.
+    let mut w = WireWriter::new();
+    w.put_name(&Name::parse("WWW.Example.COM").unwrap()).unwrap();
+    let upper = w.len();
+    w.put_name(&Name::parse("www.example.com").unwrap()).unwrap();
+    // Second name compresses into a single pointer against the first.
+    assert_eq!(w.len(), upper + 2);
+}
+
+#[test]
+fn zero_ttl_and_max_ttl_roundtrip() {
+    for ttl in [0u32, u32::MAX] {
+        let rec = Record::new(
+            Name::parse("t.example").unwrap(),
+            ttl,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
+        let mut w = WireWriter::new();
+        rec.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ldp_wire::WireReader::new(&bytes);
+        assert_eq!(Record::decode(&mut r).unwrap().ttl, ttl);
+    }
+}
+
+#[test]
+fn multiple_opt_records_last_wins_no_panic() {
+    // Two OPT records is a protocol violation (RFC 6891 §6.1.1); the
+    // decoder keeps the last and must not crash.
+    let mut q = Message::query(9, Name::parse("x.test").unwrap(), RrType::A);
+    q.edns = Some(Edns::with_do());
+    let mut bytes = q.to_bytes().unwrap();
+    // Append a second OPT by re-encoding the EDNS block manually.
+    let mut w = WireWriter::new();
+    Edns::default().encode(&mut w).unwrap();
+    bytes.extend_from_slice(w.as_slice());
+    // Patch ARCOUNT from 1 to 2.
+    bytes[11] = 2;
+    let dec = Message::from_bytes(&bytes).unwrap();
+    assert!(dec.edns.is_some());
+}
+
+#[test]
+fn response_larger_than_question_roundtrip_at_64k_boundary() {
+    // A message just under the 64 KiB cap must encode; one over must not.
+    let mut m = Message::query(1, Name::parse("big.test").unwrap(), RrType::Txt);
+    let mut resp = Message::response_for(&m);
+    // ~64 KB of TXT records (each ~265 B united).
+    for i in 0..240 {
+        resp.answers.push(Record::new(
+            Name::parse(&format!("n{i}.big.test")).unwrap(),
+            60,
+            RData::Txt(vec![vec![b'x'; 255]]),
+        ));
+    }
+    let encoded = resp.to_bytes().unwrap();
+    assert!(encoded.len() <= u16::MAX as usize);
+    // Push it over the top.
+    for i in 0..40 {
+        resp.answers.push(Record::new(
+            Name::parse(&format!("m{i}.big.test")).unwrap(),
+            60,
+            RData::Txt(vec![vec![b'y'; 255]]),
+        ));
+    }
+    assert!(resp.to_bytes().is_err(), "oversized message must be rejected");
+    m.answers.clear();
+}
+
+#[test]
+fn empty_message_roundtrip() {
+    let m = Message::default();
+    let bytes = m.to_bytes().unwrap();
+    assert_eq!(bytes.len(), 12);
+    assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
+}
+
+#[test]
+fn trailing_garbage_after_sections_is_tolerated() {
+    // Captured UDP payloads sometimes carry padding; decoding stops at the
+    // counted records and must not error on trailing bytes.
+    let q = Message::query(5, Name::parse("pad.test").unwrap(), RrType::A);
+    let mut bytes = q.to_bytes().unwrap();
+    bytes.extend_from_slice(&[0xAA; 16]);
+    let dec = Message::from_bytes(&bytes).unwrap();
+    assert_eq!(dec.header.id, 5);
+}

@@ -1,0 +1,29 @@
+//! Synthetic DNS workloads calibrated to the paper's traces (Table 1).
+//!
+//! The original evaluation used private B-Root DITL captures and a
+//! department-level recursive trace. This crate is the documented
+//! substitution: generators that reproduce the *distributional* properties
+//! those experiments depend on —
+//!
+//! * heavy-tailed client populations (Figure 15c: ~1% of clients send ~75%
+//!   of queries; ~81% of clients send <10 queries) via [`zipf`],
+//! * Poisson arrivals around a configurable mean rate with slow rate
+//!   modulation (B-Root's rate "varies over time", §4.2),
+//! * the observed protocol mix (≈3% TCP) and DNSSEC share (≈72.3% DO),
+//! * fixed-interval synthetic traces syn-0…syn-4 with unique query names
+//!   (§4.1),
+//! * a recursive-style workload spread over hundreds of zones (Rec-17).
+//!
+//! [`zones`] builds the synthetic root zone (with realistic TLD
+//! delegations) that answers root-trace replays, replacing the real root
+//! zone file the paper used.
+
+pub mod broot;
+pub mod names;
+pub mod synthetic;
+pub mod zipf;
+pub mod zones;
+
+pub use broot::{BRootConfig, RecConfig};
+pub use synthetic::SyntheticConfig;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,133 @@
+//! Deterministic name and address pools for synthetic traces.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use ldp_wire::{Name, RrType};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Realistic TLD label pool: the popular TLDs that dominate root traffic.
+pub const COMMON_TLDS: &[&str] = &[
+    "com", "net", "org", "arpa", "de", "uk", "cn", "jp", "io", "ru", "nl", "info", "br", "fr",
+    "edu", "gov", "au", "it", "pl", "biz",
+];
+
+/// Query-type mix observed at roots: A dominates, then AAAA, then the
+/// rest. Fractions are cumulative.
+const QTYPE_MIX: &[(f64, RrType)] = &[
+    (0.55, RrType::A),
+    (0.80, RrType::Aaaa),
+    (0.88, RrType::Ns),
+    (0.93, RrType::Mx),
+    (0.96, RrType::Txt),
+    (0.99, RrType::Ds),
+    (1.00, RrType::Soa),
+];
+
+/// Draws a query type from the root-traffic mix.
+pub fn sample_qtype(rng: &mut StdRng) -> RrType {
+    let u: f64 = rng.gen();
+    for &(cum, t) in QTYPE_MIX {
+        if u <= cum {
+            return t;
+        }
+    }
+    RrType::A
+}
+
+/// Generates a qname for root traffic: a blend of names under real TLDs
+/// (answerable with a referral) and junk names under nonexistent TLDs
+/// (answerable with NXDOMAIN) — roots see a lot of both.
+pub fn sample_root_qname(rng: &mut StdRng, junk_fraction: f64) -> Name {
+    if rng.gen::<f64>() < junk_fraction {
+        // Junk single-label or dotted garbage → NXDOMAIN from the root.
+        let label = random_label(rng, 8);
+        Name::parse(&format!("{label}.invalid{}", rng.gen_range(0..100))).expect("generated name")
+    } else {
+        let tld = COMMON_TLDS[rng.gen_range(0..COMMON_TLDS.len())];
+        let sld = random_label(rng, 10);
+        let host = if rng.gen::<f64>() < 0.5 {
+            "www.".to_string()
+        } else {
+            String::new()
+        };
+        Name::parse(&format!("{host}{sld}.{tld}")).expect("generated name")
+    }
+}
+
+/// Generates a qname guaranteed unique across the trace, used by the
+/// fidelity experiments to match queries with replies (§4.1: "Each query
+/// uses a unique name").
+pub fn unique_qname(index: u64, domain: &str) -> Name {
+    Name::parse(&format!("u{index:012x}.{domain}")).expect("unique name")
+}
+
+/// Deterministic client address pool: maps client ranks to addresses
+/// spread over the 10/8 space (plenty for a million clients).
+pub fn client_addr(rank: usize) -> IpAddr {
+    let r = rank as u32;
+    IpAddr::V4(Ipv4Addr::new(
+        10,
+        (r >> 16) as u8,
+        (r >> 8) as u8,
+        (r & 0xFF) as u8,
+    ))
+}
+
+fn random_label(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qtype_mix_dominated_by_a() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = 0;
+        for _ in 0..10_000 {
+            if sample_qtype(&mut rng) == RrType::A {
+                a += 1;
+            }
+        }
+        let share = a as f64 / 10_000.0;
+        assert!((share - 0.55).abs() < 0.03, "{share}");
+    }
+
+    #[test]
+    fn root_qnames_mix_junk_and_real() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut junk = 0;
+        for _ in 0..1000 {
+            let name = sample_root_qname(&mut rng, 0.3);
+            let tld = name.labels().last().unwrap().to_vec();
+            let tld = String::from_utf8(tld).unwrap();
+            if tld.starts_with("invalid") {
+                junk += 1;
+            } else {
+                assert!(COMMON_TLDS.contains(&tld.as_str()), "unexpected TLD {tld}");
+            }
+        }
+        assert!((250..350).contains(&junk), "junk count {junk}");
+    }
+
+    #[test]
+    fn unique_names_unique() {
+        let a = unique_qname(1, "example.com");
+        let b = unique_qname(2, "example.com");
+        assert_ne!(a, b);
+        assert!(a.is_subdomain_of(&Name::parse("example.com").unwrap()));
+    }
+
+    #[test]
+    fn client_addrs_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..100_000 {
+            assert!(seen.insert(client_addr(rank)), "duplicate at {rank}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Zipf-distributed sampling for heavy-tailed client populations.
+//!
+//! Root-server clients are extremely skewed (Figure 15c; also Castro et
+//! al.'s "A Day at the Root"): a handful of big recursive farms generate
+//! most queries while most clients appear a few times. A Zipf(α) rank
+//! distribution with α ≈ 1.3 over the client population reproduces both
+//! headline statistics the paper reports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples ranks `0..n` with probability ∝ (rank+1)^(−α).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative weights, normalized to end at 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler (O(n) precompute, O(log n) per sample).
+    pub fn new(n: usize, alpha: f64) -> ZipfSampler {
+        assert!(n > 0, "population must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += ((rank + 1) as f64).powf(-alpha);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Exact probability mass of a rank (for tests).
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[rank] - self.cumulative[rank - 1]
+        }
+    }
+}
+
+/// Convenience: draws `samples` ranks and returns per-rank counts.
+pub fn sample_counts(n: usize, alpha: f64, samples: usize, seed: u64) -> Vec<u64> {
+    let sampler = ZipfSampler::new(n, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; n];
+    for _ in 0..samples {
+        counts[sampler.sample(&mut rng)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_sums_to_one() {
+        let s = ZipfSampler::new(100, 1.3);
+        let total: f64 = (0..100).map(|r| s.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_likely() {
+        let s = ZipfSampler::new(1000, 1.3);
+        assert!(s.mass(0) > s.mass(1));
+        assert!(s.mass(1) > s.mass(100));
+    }
+
+    #[test]
+    fn sampling_matches_mass() {
+        let counts = sample_counts(50, 1.3, 100_000, 7);
+        let s = ZipfSampler::new(50, 1.3);
+        let observed = counts[0] as f64 / 100_000.0;
+        assert!((observed - s.mass(0)).abs() < 0.01, "{observed} vs {}", s.mass(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(sample_counts(100, 1.3, 10_000, 9), sample_counts(100, 1.3, 10_000, 9));
+        assert_ne!(sample_counts(100, 1.3, 10_000, 9), sample_counts(100, 1.3, 10_000, 10));
+    }
+
+    #[test]
+    fn heavy_tail_shape_matches_figure_15c() {
+        // With α≈1.3 over 20k clients and 40 queries/client average, the
+        // top 1% of clients should carry well over half the load and most
+        // clients should stay under 10 queries — the Figure 15c shape.
+        let n = 20_000;
+        let counts = sample_counts(n, 1.3, 800_000, 42);
+        let mut sorted: Vec<u64> = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sorted.iter().sum();
+        let top1pct: u64 = sorted.iter().take(n / 100).sum();
+        let share = top1pct as f64 / total as f64;
+        assert!(share > 0.55, "top-1% share {share} too small");
+        let quiet = counts.iter().filter(|&&c| c < 10).count() as f64 / n as f64;
+        assert!(quiet > 0.6, "quiet-client fraction {quiet} too small");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_population_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

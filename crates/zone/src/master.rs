@@ -1,0 +1,636 @@
+//! Zone master-file format (RFC 1035 §5): parser and serializer.
+//!
+//! The zone constructor (§2.3 of the paper) materializes reconstructed
+//! zones as master files so they can be saved, inspected, edited, and
+//! reloaded across experiments ("we save the recreated zones for reuse").
+//!
+//! Supported syntax: `$ORIGIN`, `$TTL`, `@`, relative names, inherited
+//! owner (leading whitespace), parenthesized record continuation (as used
+//! by SOA), comments, quoted TXT strings, and `\# len hex` unknown rdata.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use ldp_wire::{Name, RData, Record, RrClass, RrType, SoaData};
+
+use crate::zone::{Zone, ZoneError};
+
+/// Parses a master file into a [`Zone`] rooted at `origin` (overridable by
+/// `$ORIGIN` inside the file).
+pub fn parse_zone(origin: &Name, text: &str) -> Result<Zone, ZoneError> {
+    let mut parser = Parser {
+        origin: origin.clone(),
+        default_ttl: 3600,
+        last_owner: None,
+        zone: Zone::new(origin.clone()),
+    };
+    for (lineno, logical) in logical_lines(text) {
+        parser.parse_line(lineno, &logical)?;
+    }
+    Ok(parser.zone)
+}
+
+/// Serializes a zone to master-file text (round-trips through
+/// [`parse_zone`]).
+pub fn serialize_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.origin()));
+    // SOA first, then everything else sorted for stable output.
+    if let Some(soa) = zone.soa_record() {
+        out.push_str(&soa.to_string());
+        out.push('\n');
+    }
+    let mut lines: Vec<String> = Vec::new();
+    for (name, rtype, set) in zone.iter() {
+        if rtype == RrType::Soa && name == zone.origin() {
+            continue;
+        }
+        for rec in set.to_records(name, rtype) {
+            lines.push(rec.to_string());
+        }
+    }
+    lines.sort();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Joins parenthesized continuations and strips comments, yielding
+/// (first-line-number, logical line) pairs.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut start_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let stripped = strip_comment_and_count_parens(raw, &mut depth);
+        if current.is_empty() {
+            start_line = i + 1;
+            current = stripped;
+        } else {
+            current.push(' ');
+            current.push_str(&stripped);
+        }
+        if depth == 0 {
+            if !current.trim().is_empty() {
+                out.push((start_line, std::mem::take(&mut current)));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push((start_line, current));
+    }
+    out
+}
+
+/// Removes `;` comments (respecting quoted strings) and replaces
+/// parentheses with spaces while tracking nesting depth.
+fn strip_comment_and_count_parens(line: &str, depth: &mut usize) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_quote = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if escape {
+            out.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' => {
+                out.push(c);
+                escape = true;
+            }
+            '"' => {
+                in_quote = !in_quote;
+                out.push(c);
+            }
+            ';' if !in_quote => break,
+            '(' if !in_quote => {
+                *depth += 1;
+                out.push(' ');
+            }
+            ')' if !in_quote => {
+                *depth = depth.saturating_sub(1);
+                out.push(' ');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser {
+    origin: Name,
+    default_ttl: u32,
+    last_owner: Option<Name>,
+    zone: Zone,
+}
+
+impl Parser {
+    fn err(&self, line: usize, reason: impl Into<String>) -> ZoneError {
+        ZoneError::Parse {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    fn resolve_name(&self, line: usize, token: &str) -> Result<Name, ZoneError> {
+        if token == "@" {
+            return Ok(self.origin.clone());
+        }
+        if token.ends_with('.') && !token.ends_with("\\.") {
+            return Name::parse(token).map_err(|e| self.err(line, e.to_string()));
+        }
+        // Relative name: append origin.
+        let left = Name::parse(token).map_err(|e| self.err(line, e.to_string()))?;
+        left.concat(&self.origin)
+            .map_err(|e| self.err(line, e.to_string()))
+    }
+
+    fn parse_line(&mut self, line: usize, text: &str) -> Result<(), ZoneError> {
+        let leading_ws = text.starts_with(' ') || text.starts_with('\t');
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        if tokens[0] == "$ORIGIN" {
+            let name = tokens
+                .get(1)
+                .ok_or_else(|| self.err(line, "$ORIGIN needs a name"))?;
+            self.origin = Name::parse(name).map_err(|e| self.err(line, e.to_string()))?;
+            return Ok(());
+        }
+        if tokens[0] == "$TTL" {
+            let ttl = tokens
+                .get(1)
+                .ok_or_else(|| self.err(line, "$TTL needs a value"))?;
+            self.default_ttl = parse_ttl(ttl).ok_or_else(|| self.err(line, "bad $TTL"))?;
+            return Ok(());
+        }
+        if tokens[0].starts_with('$') {
+            return Err(self.err(line, format!("unsupported directive {}", tokens[0])));
+        }
+
+        let mut idx = 0;
+        let owner = if leading_ws {
+            self.last_owner
+                .clone()
+                .ok_or_else(|| self.err(line, "record without owner"))?
+        } else {
+            let o = self.resolve_name(line, &tokens[0])?;
+            idx = 1;
+            o
+        };
+        self.last_owner = Some(owner.clone());
+
+        // [TTL] [class] type — TTL and class may appear in either order.
+        let mut ttl = self.default_ttl;
+        let mut class = RrClass::In;
+        let rtype = loop {
+            let tok = tokens
+                .get(idx)
+                .ok_or_else(|| self.err(line, "missing record type"))?;
+            if let Some(v) = parse_ttl(tok) {
+                ttl = v;
+                idx += 1;
+                continue;
+            }
+            if let Ok(c) = tok.parse::<RrClass>() {
+                // Careful: "A" parses as neither class nor ttl; "IN" parses
+                // as class. Types that also look like classes don't exist.
+                class = c;
+                idx += 1;
+                continue;
+            }
+            break tok
+                .parse::<RrType>()
+                .map_err(|e| self.err(line, e.to_string()))?;
+        };
+        idx += 1;
+        let rdata_tokens = &tokens[idx..];
+        let rdata = self.parse_rdata(line, rtype, rdata_tokens)?;
+        self.zone
+            .add(Record {
+                name: owner,
+                rtype,
+                class,
+                ttl,
+                rdata,
+            })
+            .map_err(|e| match e {
+                ZoneError::Parse { .. } => e,
+                other => self.err(line, other.to_string()),
+            })
+    }
+
+    fn parse_rdata(
+        &self,
+        line: usize,
+        rtype: RrType,
+        toks: &[String],
+    ) -> Result<RData, ZoneError> {
+        let need = |n: usize| -> Result<(), ZoneError> {
+            if toks.len() < n {
+                Err(self.err(line, format!("{rtype} rdata needs {n} fields")))
+            } else {
+                Ok(())
+            }
+        };
+        // Unknown-format rdata: `\# <len> <hex>` (RFC 3597).
+        if toks.first().map(String::as_str) == Some("\\#") {
+            need(2)?;
+            let len: usize = toks[1]
+                .parse()
+                .map_err(|_| self.err(line, "bad \\# length"))?;
+            let hexstr: String = toks[2..].concat();
+            let raw = parse_hex(&hexstr).ok_or_else(|| self.err(line, "bad hex"))?;
+            if raw.len() != len {
+                return Err(self.err(line, "\\# length mismatch"));
+            }
+            return Ok(RData::Unknown(raw));
+        }
+        Ok(match rtype {
+            RrType::A => {
+                need(1)?;
+                RData::A(toks[0]
+                    .parse::<Ipv4Addr>()
+                    .map_err(|_| self.err(line, "bad A address"))?)
+            }
+            RrType::Aaaa => {
+                need(1)?;
+                RData::Aaaa(
+                    toks[0]
+                        .parse::<Ipv6Addr>()
+                        .map_err(|_| self.err(line, "bad AAAA address"))?,
+                )
+            }
+            RrType::Ns => {
+                need(1)?;
+                RData::Ns(self.resolve_name(line, &toks[0])?)
+            }
+            RrType::Cname => {
+                need(1)?;
+                RData::Cname(self.resolve_name(line, &toks[0])?)
+            }
+            RrType::Ptr => {
+                need(1)?;
+                RData::Ptr(self.resolve_name(line, &toks[0])?)
+            }
+            RrType::Soa => {
+                need(7)?;
+                let nums: Vec<u32> = toks[2..7]
+                    .iter()
+                    .map(|t| parse_ttl(t).ok_or_else(|| self.err(line, "bad SOA number")))
+                    .collect::<Result<_, _>>()?;
+                RData::Soa(SoaData {
+                    mname: self.resolve_name(line, &toks[0])?,
+                    rname: self.resolve_name(line, &toks[1])?,
+                    serial: nums[0],
+                    refresh: nums[1],
+                    retry: nums[2],
+                    expire: nums[3],
+                    minimum: nums[4],
+                })
+            }
+            RrType::Mx => {
+                need(2)?;
+                RData::Mx {
+                    preference: toks[0]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad MX preference"))?,
+                    exchange: self.resolve_name(line, &toks[1])?,
+                }
+            }
+            RrType::Txt => {
+                need(1)?;
+                let strings = toks
+                    .iter()
+                    .map(|t| unquote_txt(t))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| self.err(line, "bad TXT string"))?;
+                RData::Txt(strings)
+            }
+            RrType::Srv => {
+                need(4)?;
+                RData::Srv {
+                    priority: toks[0].parse().map_err(|_| self.err(line, "bad SRV priority"))?,
+                    weight: toks[1].parse().map_err(|_| self.err(line, "bad SRV weight"))?,
+                    port: toks[2].parse().map_err(|_| self.err(line, "bad SRV port"))?,
+                    target: self.resolve_name(line, &toks[3])?,
+                }
+            }
+            RrType::Dnskey => {
+                need(4)?;
+                RData::Dnskey {
+                    flags: toks[0].parse().map_err(|_| self.err(line, "bad DNSKEY flags"))?,
+                    protocol: toks[1].parse().map_err(|_| self.err(line, "bad DNSKEY protocol"))?,
+                    algorithm: toks[2].parse().map_err(|_| self.err(line, "bad DNSKEY algorithm"))?,
+                    public_key: parse_hex(&toks[3..].concat())
+                        .ok_or_else(|| self.err(line, "bad DNSKEY key hex"))?,
+                }
+            }
+            RrType::Rrsig => {
+                need(9)?;
+                RData::Rrsig {
+                    type_covered: toks[0]
+                        .parse::<RrType>()
+                        .map_err(|e| self.err(line, e.to_string()))?,
+                    algorithm: toks[1].parse().map_err(|_| self.err(line, "bad RRSIG algorithm"))?,
+                    labels: toks[2].parse().map_err(|_| self.err(line, "bad RRSIG labels"))?,
+                    original_ttl: parse_ttl(&toks[3]).ok_or_else(|| self.err(line, "bad RRSIG ttl"))?,
+                    expiration: parse_ttl(&toks[4]).ok_or_else(|| self.err(line, "bad RRSIG expiration"))?,
+                    inception: parse_ttl(&toks[5]).ok_or_else(|| self.err(line, "bad RRSIG inception"))?,
+                    key_tag: toks[6].parse().map_err(|_| self.err(line, "bad RRSIG key tag"))?,
+                    signer: self.resolve_name(line, &toks[7])?,
+                    signature: parse_hex(&toks[8..].concat())
+                        .ok_or_else(|| self.err(line, "bad RRSIG signature hex"))?,
+                }
+            }
+            RrType::Ds => {
+                need(4)?;
+                RData::Ds {
+                    key_tag: toks[0].parse().map_err(|_| self.err(line, "bad DS key tag"))?,
+                    algorithm: toks[1].parse().map_err(|_| self.err(line, "bad DS algorithm"))?,
+                    digest_type: toks[2].parse().map_err(|_| self.err(line, "bad DS digest type"))?,
+                    digest: parse_hex(&toks[3..].concat())
+                        .ok_or_else(|| self.err(line, "bad DS digest hex"))?,
+                }
+            }
+            RrType::Nsec => {
+                need(2)?;
+                RData::Nsec {
+                    next: self.resolve_name(line, &toks[0])?,
+                    type_bitmaps: parse_hex(&toks[1..].concat())
+                        .ok_or_else(|| self.err(line, "bad NSEC bitmap hex"))?,
+                }
+            }
+            other => {
+                return Err(self.err(
+                    line,
+                    format!("type {other} requires \\# unknown-format rdata"),
+                ))
+            }
+        })
+    }
+}
+
+/// Splits on whitespace, keeping quoted strings (with escapes) whole.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_quote => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses a TTL: plain seconds or with `s`/`m`/`h`/`d`/`w` units
+/// (e.g. `1h30m`).
+pub fn parse_ttl(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    if s.chars().all(|c| c.is_ascii_digit()) {
+        return s.parse().ok();
+    }
+    let mut total: u64 = 0;
+    let mut num: u64 = 0;
+    let mut saw_digit = false;
+    for c in s.chars() {
+        if let Some(d) = c.to_digit(10) {
+            num = num * 10 + d as u64;
+            saw_digit = true;
+        } else {
+            if !saw_digit {
+                return None;
+            }
+            let mult: u64 = match c.to_ascii_lowercase() {
+                's' => 1,
+                'm' => 60,
+                'h' => 3600,
+                'd' => 86400,
+                'w' => 604800,
+                _ => return None,
+            };
+            total += num * mult;
+            num = 0;
+            saw_digit = false;
+        }
+    }
+    if saw_digit {
+        total += num;
+    }
+    u32::try_from(total).ok()
+}
+
+fn parse_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// Removes surrounding quotes and resolves `\"`/`\\`/`\ddd` escapes.
+fn unquote_txt(tok: &str) -> Option<Vec<u8>> {
+    let inner = tok.strip_prefix('"')?.strip_suffix('"')?;
+    let bytes = inner.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            if i + 1 >= bytes.len() {
+                return None;
+            }
+            if bytes[i + 1].is_ascii_digit() {
+                if i + 3 >= bytes.len() {
+                    return None;
+                }
+                let v = (bytes[i + 1] - b'0') as u32 * 100
+                    + (bytes[i + 2] - b'0') as u32 * 10
+                    + (bytes[i + 3] - b'0') as u32;
+                out.push(u8::try_from(v).ok()?);
+                i += 4;
+            } else {
+                out.push(bytes[i + 1]);
+                i += 2;
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    const EXAMPLE: &str = r#"
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 hostmaster ( 2024010101 7200
+                            3600 1209600 300 ) ; SOA with continuation
+@       IN NS  ns1
+@       IN NS  ns2.example.com.
+ns1     IN A   192.0.2.53
+ns2     300 IN A 192.0.2.54
+www     IN A   192.0.2.80
+        IN AAAA 2001:db8::80 ; inherited owner
+alias   IN CNAME www
+mail    IN MX 10 mx1.example.com.
+txt     IN TXT "hello world" "second string"
+_sip._tcp IN SRV 0 5 5060 sip
+sub     IN NS ns1.sub
+ns1.sub IN A 192.0.2.99
+odd     IN TYPE999 \# 4 0a0b0c0d
+"#;
+
+    #[test]
+    fn parse_full_zone() {
+        let z = parse_zone(&n("example.com"), EXAMPLE).unwrap();
+        assert!(z.validate().is_ok());
+        let soa = z.soa().unwrap();
+        assert_eq!(soa.serial, 2024010101);
+        assert_eq!(soa.mname, n("ns1.example.com"));
+        assert_eq!(z.get(&n("example.com"), RrType::Ns).unwrap().rdatas.len(), 2);
+        assert_eq!(
+            z.get(&n("ns2.example.com"), RrType::A).unwrap().ttl,
+            300,
+            "explicit TTL overrides $TTL"
+        );
+        assert_eq!(z.get(&n("ns1.example.com"), RrType::A).unwrap().ttl, 3600);
+        // Inherited owner: AAAA attaches to www.
+        assert!(z.get(&n("www.example.com"), RrType::Aaaa).is_some());
+        // Sub-delegation registered as a cut.
+        assert_eq!(z.deepest_cut(&n("x.sub.example.com")).unwrap(), &n("sub.example.com"));
+        // Unknown type preserved.
+        assert_eq!(
+            z.get(&n("odd.example.com"), RrType::Unknown(999)).unwrap().rdatas[0],
+            RData::Unknown(vec![0x0a, 0x0b, 0x0c, 0x0d])
+        );
+    }
+
+    #[test]
+    fn txt_strings() {
+        let z = parse_zone(&n("example.com"), EXAMPLE).unwrap();
+        match &z.get(&n("txt.example.com"), RrType::Txt).unwrap().rdatas[0] {
+            RData::Txt(strings) => {
+                assert_eq!(strings[0], b"hello world");
+                assert_eq!(strings[1], b"second string");
+            }
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse() {
+        let z = parse_zone(&n("example.com"), EXAMPLE).unwrap();
+        let text = serialize_zone(&z);
+        let z2 = parse_zone(&n("example.com"), &text).unwrap();
+        assert_eq!(z.record_count(), z2.record_count());
+        for (name, rtype, set) in z.iter() {
+            let set2 = z2.get(name, rtype).unwrap_or_else(|| panic!("{name} {rtype} lost"));
+            assert_eq!(set.ttl, set2.ttl, "{name} {rtype}");
+            let mut a = set.rdatas.clone();
+            let mut b = set2.rdatas.clone();
+            a.sort_by_key(|r| format!("{r}"));
+            b.sort_by_key(|r| format!("{r}"));
+            assert_eq!(a, b, "{name} {rtype}");
+        }
+    }
+
+    #[test]
+    fn ttl_units() {
+        assert_eq!(parse_ttl("300"), Some(300));
+        assert_eq!(parse_ttl("1h"), Some(3600));
+        assert_eq!(parse_ttl("1h30m"), Some(5400));
+        assert_eq!(parse_ttl("2d"), Some(172800));
+        assert_eq!(parse_ttl("1w"), Some(604800));
+        assert_eq!(parse_ttl(""), None);
+        assert_eq!(parse_ttl("h"), None);
+        assert_eq!(parse_ttl("12x"), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "$ORIGIN example.com.\n@ IN SOA ns1 host 1 2 3 4 5\nwww IN A not-an-address\n";
+        match parse_zone(&n("example.com"), bad) {
+            Err(ZoneError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone_record_rejected() {
+        let bad = "$ORIGIN example.com.\n@ IN SOA ns1 host 1 2 3 4 5\nexample.net. IN A 192.0.2.1\n";
+        assert!(parse_zone(&n("example.com"), bad).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "; leading comment\n\n$ORIGIN t.\n@ IN SOA ns h 1 2 3 4 5 ; trailing\n\n; done\n";
+        let z = parse_zone(&n("t"), text).unwrap();
+        assert!(z.soa().is_some());
+    }
+
+    #[test]
+    fn semicolon_inside_quotes_kept() {
+        let text = "$ORIGIN t.\n@ IN SOA ns h 1 2 3 4 5\nx IN TXT \"a;b\"\n";
+        let z = parse_zone(&n("t"), text).unwrap();
+        match &z.get(&n("x.t"), RrType::Txt).unwrap().rdatas[0] {
+            RData::Txt(s) => assert_eq!(s[0], b"a;b"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dnssec_records_roundtrip() {
+        let text = "$ORIGIN s.\n@ IN SOA ns h 1 2 3 4 5\n\
+@ IN DNSKEY 256 3 8 aabbcc\n\
+@ IN RRSIG SOA 8 1 3600 100 50 7 s. ddeeff\n\
+@ IN DS 7 8 2 0011\n\
+@ IN NSEC a.s. 000101\n";
+        let z = parse_zone(&n("s"), text).unwrap();
+        let text2 = serialize_zone(&z);
+        let z2 = parse_zone(&n("s"), &text2).unwrap();
+        assert_eq!(z.record_count(), z2.record_count());
+        assert!(z2.get(&n("s"), RrType::Dnskey).is_some());
+        assert!(z2.get(&n("s"), RrType::Rrsig).is_some());
+    }
+}

@@ -1,0 +1,598 @@
+//! The zone constructor (§2.3 of the paper): rebuild the zones of the DNS
+//! hierarchy from captured authoritative responses, so that replays can be
+//! answered locally, repeatably, and without leaking traffic to the
+//! Internet.
+//!
+//! The input is the trace captured "at the upstream network interface of
+//! the recursive server" while a cold-cache resolver walked the hierarchy
+//! once for every unique query. The pipeline mirrors the paper:
+//!
+//! 1. **Scan** every response and index the structural records: which
+//!    names own NS rrsets (zone cuts → zone origins), and the A/AAAA of
+//!    every nameserver host.
+//! 2. **Aggregate** the remaining records into per-origin intermediate
+//!    zones: each record goes to the deepest discovered origin enclosing
+//!    its owner; delegation NS/DS records also land in the parent, and
+//!    nameserver addresses are copied into the parent as glue.
+//! 3. **Split** produces one [`Zone`] per origin, with a synthetic SOA
+//!    when none was captured ("Recover Missing Data") and first-answer-wins
+//!    conflict resolution ("Handle inconsistent replies").
+//! 4. **Bind** each zone to the public addresses of its nameservers,
+//!    yielding the input for the split-horizon [`ViewTable`] that the
+//!    meta-DNS-server serves.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use ldp_trace::{Direction, TraceRecord};
+use ldp_wire::{Message, Name, RData, Record, RrType};
+use ldp_zone::{ViewTable, Zone, ZoneError};
+
+/// Statistics from a construction run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    pub responses_scanned: u64,
+    pub records_seen: u64,
+    pub records_placed: u64,
+    /// Records skipped by first-answer-wins conflict resolution.
+    pub conflicts_skipped: u64,
+    /// Zones that needed a synthetic SOA.
+    pub fake_soas: u64,
+    pub zones_built: usize,
+}
+
+/// The output of zone construction.
+#[derive(Debug)]
+pub struct BuiltZones {
+    /// One zone per discovered origin.
+    pub zones: Vec<Zone>,
+    /// (nameserver address, zone origin) pairs.
+    pub bindings: Vec<(IpAddr, Name)>,
+    pub stats: BuildStats,
+}
+
+impl BuiltZones {
+    /// Materializes the split-horizon view table for the meta-DNS-server.
+    pub fn into_view_table(self) -> ViewTable {
+        let mut by_origin: HashMap<Name, Zone> = self
+            .zones
+            .into_iter()
+            .map(|z| (z.origin().clone(), z))
+            .collect();
+        let mut pairs = Vec::new();
+        // A nameserver may serve several zones; clone per binding.
+        for (addr, origin) in self.bindings {
+            if let Some(zone) = by_origin.get(&origin) {
+                pairs.push((addr, zone.clone()));
+            }
+        }
+        // Zones with no discovered address still need to exist somewhere;
+        // unreachable zones would break replay, so this is surfaced by
+        // `bindings` being checkable upstream. (Drop them here.)
+        by_origin.clear();
+        ViewTable::from_nameserver_map(pairs)
+    }
+
+    /// Serializes every zone as a master file, returning (filename,
+    /// contents) pairs — the reusable zone files of §2.3.
+    pub fn to_master_files(&self) -> Vec<(String, String)> {
+        self.zones
+            .iter()
+            .map(|z| {
+                let stem = if z.origin().is_root() {
+                    "root".to_string()
+                } else {
+                    z.origin().to_string().trim_end_matches('.').replace('.', "_")
+                };
+                (format!("{stem}.zone"), ldp_zone::master::serialize_zone(z))
+            })
+            .collect()
+    }
+}
+
+/// The zone constructor.
+#[derive(Debug, Default)]
+pub struct ZoneConstructor {
+    /// All harvested responses' records, in arrival order.
+    harvested: Vec<(usize, IpAddr, Record)>,
+    /// Names owning NS rrsets → the NS target names.
+    ns_owners: HashMap<Name, HashSet<Name>>,
+    /// Nameserver host → addresses.
+    ns_addrs: HashMap<Name, HashSet<IpAddr>>,
+    /// Whether the root zone was observed (always an origin if so).
+    saw_root_soa_or_ns: bool,
+    response_count: u64,
+    next_response_id: usize,
+}
+
+impl ZoneConstructor {
+    pub fn new() -> ZoneConstructor {
+        ZoneConstructor::default()
+    }
+
+    /// Ingests one captured trace record (non-responses are ignored).
+    pub fn ingest(&mut self, rec: &TraceRecord) {
+        if rec.direction != Direction::Response {
+            return;
+        }
+        self.ingest_response(rec.src, &rec.message);
+    }
+
+    /// Ingests a response message served from `server_addr`.
+    pub fn ingest_response(&mut self, server_addr: IpAddr, msg: &Message) {
+        self.response_count += 1;
+        let response_id = self.next_response_id;
+        self.next_response_id += 1;
+        for record in msg
+            .answers
+            .iter()
+            .chain(msg.authorities.iter())
+            .chain(msg.additionals.iter())
+        {
+            self.index_record(record);
+            self.harvested
+                .push((response_id, server_addr, record.clone()));
+        }
+    }
+
+    fn index_record(&mut self, record: &Record) {
+        match &record.rdata {
+            RData::Ns(target) => {
+                if record.name.is_root() {
+                    self.saw_root_soa_or_ns = true;
+                }
+                self.ns_owners
+                    .entry(record.name.clone())
+                    .or_default()
+                    .insert(target.clone());
+            }
+            RData::Soa(_) if record.name.is_root() => {
+                self.saw_root_soa_or_ns = true;
+            }
+            RData::A(a) => {
+                self.note_addr(&record.name, IpAddr::V4(*a));
+            }
+            RData::Aaaa(a) => {
+                self.note_addr(&record.name, IpAddr::V6(*a));
+            }
+            _ => {}
+        }
+    }
+
+    fn note_addr(&mut self, name: &Name, addr: IpAddr) {
+        self.ns_addrs
+            .entry(name.clone())
+            .or_default()
+            .insert(addr);
+    }
+
+    /// The set of zone origins: every NS owner, plus the root when seen.
+    fn origins(&self) -> HashSet<Name> {
+        let mut origins: HashSet<Name> = self.ns_owners.keys().cloned().collect();
+        if self.saw_root_soa_or_ns {
+            origins.insert(Name::root());
+        }
+        origins
+    }
+
+    /// Deepest origin that is an ancestor of (or equal to) `name`.
+    fn owning_origin(origins: &HashSet<Name>, name: &Name) -> Option<Name> {
+        let mut keep = name.label_count();
+        loop {
+            let candidate = name.ancestor(keep)?;
+            if origins.contains(&candidate) {
+                return Some(candidate);
+            }
+            if keep == 0 {
+                return None;
+            }
+            keep -= 1;
+        }
+    }
+
+    /// Runs the split: builds one zone per origin, with first-answer-wins
+    /// conflict handling, synthetic SOAs, delegation/glue placement, and
+    /// nameserver address binding.
+    pub fn build(self) -> BuiltZones {
+        let origins = self.origins();
+        let mut stats = BuildStats {
+            responses_scanned: self.response_count,
+            records_seen: self.harvested.len() as u64,
+            ..BuildStats::default()
+        };
+
+        let mut zones: HashMap<Name, Zone> = origins
+            .iter()
+            .map(|o| (o.clone(), Zone::new(o.clone())))
+            .collect();
+        // First-answer-wins: (zone, name, type) → id of the response that
+        // owns the rrset. Later responses may not change it.
+        let mut first_owner: HashMap<(Name, Name, RrType), usize> = HashMap::new();
+
+        for (response_id, _server, record) in &self.harvested {
+            let mut targets: Vec<Name> = Vec::new();
+            let Some(primary) = Self::owning_origin(&origins, &record.name) else {
+                continue;
+            };
+            match record.rtype {
+                RrType::Ns if origins.contains(&record.name) && !record.name.is_root() => {
+                    // Apex NS of a child zone: belongs to the child AND to
+                    // the parent as the delegation.
+                    targets.push(record.name.clone());
+                    if let Some(parent_origin) = record
+                        .name
+                        .parent()
+                        .and_then(|p| Self::owning_origin(&origins, &p))
+                    {
+                        targets.push(parent_origin);
+                    }
+                }
+                RrType::Ds if origins.contains(&record.name) && !record.name.is_root() => {
+                    // DS lives in the parent only.
+                    if let Some(parent_origin) = record
+                        .name
+                        .parent()
+                        .and_then(|p| Self::owning_origin(&origins, &p))
+                    {
+                        targets.push(parent_origin);
+                    }
+                }
+                _ => targets.push(primary),
+            }
+            // Glue: nameserver addresses also go into every zone that
+            // delegates to this host.
+            if matches!(record.rtype, RrType::A | RrType::Aaaa) {
+                for (owner, ns_set) in &self.ns_owners {
+                    if ns_set.contains(&record.name) {
+                        // The delegation record for `owner` lives in
+                        // owner's parent zone; glue goes there.
+                        if let Some(parent_origin) = owner
+                            .parent()
+                            .and_then(|p| Self::owning_origin(&origins, &p))
+                        {
+                            if !targets.contains(&parent_origin) {
+                                targets.push(parent_origin);
+                            }
+                        }
+                    }
+                }
+            }
+            for target in targets {
+                let key = (target.clone(), record.name.clone(), record.rtype);
+                match first_owner.get(&key) {
+                    Some(owner_id) if owner_id != response_id => {
+                        stats.conflicts_skipped += 1;
+                        continue;
+                    }
+                    _ => {
+                        first_owner.insert(key, *response_id);
+                    }
+                }
+                let Some(zone) = zones.get_mut(&target) else {
+                    continue;
+                };
+                match zone.add(record.clone()) {
+                    Ok(()) => stats.records_placed += 1,
+                    Err(ZoneError::CnameConflict(_)) => stats.conflicts_skipped += 1,
+                    Err(_) => {}
+                }
+            }
+        }
+
+        // Recover missing data: every zone needs an SOA.
+        for zone in zones.values_mut() {
+            if zone.soa().is_none() {
+                let fake = Zone::with_fake_soa(zone.origin().clone());
+                if let Some(soa) = fake.soa_record() {
+                    let _ = zone.add(soa);
+                    stats.fake_soas += 1;
+                }
+            }
+        }
+
+        // Bind zones to their nameservers' addresses.
+        let mut bindings: Vec<(IpAddr, Name)> = Vec::new();
+        for (origin, zone) in &zones {
+            let ns_targets: Vec<Name> = zone
+                .get(origin, RrType::Ns)
+                .map(|set| {
+                    set.rdatas
+                        .iter()
+                        .filter_map(|rd| match rd {
+                            RData::Ns(t) => Some(t.clone()),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut bound = false;
+            for target in &ns_targets {
+                if let Some(addrs) = self.ns_addrs.get(target) {
+                    for addr in addrs {
+                        bindings.push((*addr, origin.clone()));
+                        bound = true;
+                    }
+                }
+            }
+            // Fallback: the paper aggregates by response source address;
+            // when NS glue never appeared, bind the addresses that actually
+            // served this zone's records.
+            if !bound {
+                let served_by: HashSet<IpAddr> = self
+                    .harvested
+                    .iter()
+                    .filter(|(_, _, r)| {
+                        Self::owning_origin(&origins, &r.name).as_ref() == Some(origin)
+                    })
+                    .map(|(_, server, _)| *server)
+                    .collect();
+                for addr in served_by {
+                    bindings.push((addr, origin.clone()));
+                }
+            }
+        }
+        bindings.sort_by_key(|a| (a.0, a.1.to_string()));
+        bindings.dedup();
+
+        stats.zones_built = zones.len();
+        BuiltZones {
+            zones: zones.into_values().collect(),
+            bindings,
+            stats,
+        }
+    }
+}
+
+/// Convenience: rebuild zones from a whole trace in one call.
+pub fn build_from_trace(records: &[TraceRecord]) -> BuiltZones {
+    build_from_traces(std::iter::once(records))
+}
+
+/// Rebuilds zones from several traces merged into one hierarchy — the
+/// paper's "optionally we can also merge the intermediate zone files of
+/// multiple traces" (§2.3). First-answer-wins conflict resolution applies
+/// across traces in iteration order, so the earliest capture provides the
+/// canonical data.
+pub fn build_from_traces<'a, I>(traces: I) -> BuiltZones
+where
+    I: IntoIterator<Item = &'a [TraceRecord]>,
+{
+    let mut c = ZoneConstructor::new();
+    for records in traces {
+        for r in records {
+            c.ingest(r);
+        }
+    }
+    c.build()
+}
+
+/// Rebuilds the single zone behind an *authoritative* trace (§2.3's
+/// "straightforward" case): every answered record belongs to `origin`.
+pub fn build_single_zone(origin: &Name, records: &[TraceRecord]) -> Zone {
+    let mut zone = Zone::with_fake_soa(origin.clone());
+    for rec in records {
+        if rec.direction != Direction::Response {
+            continue;
+        }
+        for record in rec
+            .message
+            .answers
+            .iter()
+            .chain(rec.message.authorities.iter())
+            .chain(rec.message.additionals.iter())
+        {
+            let _ = zone.add(record.clone());
+        }
+    }
+    zone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_wire::{Rcode, RrType};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    /// Hand-rolls the three responses a cold-cache walk of
+    /// www.example.com produces, then rebuilds zones from them.
+    fn harvest_walk() -> ZoneConstructor {
+        let mut c = ZoneConstructor::new();
+
+        // Root's referral to com.
+        let mut from_root = Message::default();
+        from_root.header.response = true;
+        from_root.questions = vec![ldp_wire::Question::new(n("www.example.com"), RrType::A)];
+        from_root.authorities.push(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net"))));
+        from_root.additionals.push(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap())));
+        // Root apex NS so the root zone is discovered as an origin.
+        from_root.authorities.push(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net"))));
+        from_root.additionals.push(Record::new(n("a.root-servers.net"), 518400, RData::A("198.41.0.4".parse().unwrap())));
+        c.ingest_response(ip("198.41.0.4"), &from_root);
+
+        // com's referral to example.com.
+        let mut from_com = Message::default();
+        from_com.header.response = true;
+        from_com.authorities.push(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com"))));
+        from_com.additionals.push(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap())));
+        c.ingest_response(ip("192.5.6.30"), &from_com);
+
+        // example.com's answer.
+        let mut from_sld = Message::default();
+        from_sld.header.response = true;
+        from_sld.header.authoritative = true;
+        from_sld.answers.push(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap())));
+        from_sld.authorities.push(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
+        c.ingest_response(ip("192.0.2.53"), &from_sld);
+
+        c
+    }
+
+    #[test]
+    fn origins_discovered() {
+        let built = harvest_walk().build();
+        let mut origins: Vec<String> = built.zones.iter().map(|z| z.origin().to_string()).collect();
+        origins.sort();
+        assert_eq!(origins, vec![".", "com.", "example.com."]);
+        assert_eq!(built.stats.zones_built, 3);
+        assert_eq!(built.stats.responses_scanned, 3);
+    }
+
+    #[test]
+    fn every_zone_has_soa() {
+        let built = harvest_walk().build();
+        for z in &built.zones {
+            assert!(z.validate().is_ok(), "zone {} missing SOA", z.origin());
+        }
+        assert_eq!(built.stats.fake_soas, 3, "no SOAs were captured");
+    }
+
+    #[test]
+    fn delegations_and_glue_in_parent() {
+        let built = harvest_walk().build();
+        let root = built.zones.iter().find(|z| z.origin().is_root()).unwrap();
+        assert!(root.get(&n("com"), RrType::Ns).is_some(), "root delegates com");
+        assert!(
+            root.get(&n("a.gtld-servers.net"), RrType::A).is_some(),
+            "glue for com's NS in the root zone"
+        );
+        let com = built.zones.iter().find(|z| z.origin() == &n("com")).unwrap();
+        assert!(com.get(&n("example.com"), RrType::Ns).is_some());
+        assert!(com.get(&n("ns1.example.com"), RrType::A).is_some());
+    }
+
+    #[test]
+    fn bindings_map_ns_addresses_to_zones() {
+        let built = harvest_walk().build();
+        let find = |addr: &str| -> Vec<String> {
+            built
+                .bindings
+                .iter()
+                .filter(|(a, _)| *a == ip(addr))
+                .map(|(_, o)| o.to_string())
+                .collect()
+        };
+        assert_eq!(find("198.41.0.4"), vec!["."]);
+        assert_eq!(find("192.5.6.30"), vec!["com."]);
+        assert_eq!(find("192.0.2.53"), vec!["example.com."]);
+    }
+
+    #[test]
+    fn rebuilt_hierarchy_answers_like_the_original() {
+        // The §2.3 closing property: replaying the harvested queries
+        // against the rebuilt hierarchy gives the same answers.
+        use ldp_server::auth::AuthEngine;
+        let built = harvest_walk().build();
+        let table = built.into_view_table();
+        let engine = AuthEngine::with_views(table);
+        let q = Message::query(1, n("www.example.com"), RrType::A);
+
+        let root_resp = engine.respond(ip("198.41.0.4"), &q, false);
+        assert!(root_resp.answers.is_empty());
+        assert_eq!(root_resp.authorities.iter().filter(|r| r.name == n("com")).count(), 1);
+
+        let sld_resp = engine.respond(ip("192.0.2.53"), &q, false);
+        assert_eq!(sld_resp.header.rcode, Rcode::NoError);
+        assert_eq!(sld_resp.answers.len(), 1);
+        assert_eq!(sld_resp.answers[0].rdata, RData::A("192.0.2.80".parse().unwrap()));
+    }
+
+    #[test]
+    fn first_answer_wins_on_conflicts() {
+        let mut c = harvest_walk();
+        // A second, different answer for www.example.com (CDN flap).
+        let mut flap = Message::default();
+        flap.header.response = true;
+        flap.answers.push(Record::new(n("www.example.com"), 300, RData::A("203.0.113.9".parse().unwrap())));
+        c.ingest_response(ip("192.0.2.53"), &flap);
+        let built = c.build();
+        assert!(built.stats.conflicts_skipped >= 1);
+        let sld = built.zones.iter().find(|z| z.origin() == &n("example.com")).unwrap();
+        let set = sld.get(&n("www.example.com"), RrType::A).unwrap();
+        assert_eq!(set.rdatas, vec![RData::A("192.0.2.80".parse().unwrap())], "first answer kept");
+    }
+
+    #[test]
+    fn queries_are_ignored() {
+        let mut c = ZoneConstructor::new();
+        let rec = TraceRecord::udp_query(0, ip("10.0.0.1"), 1234, n("x.test"), RrType::A);
+        c.ingest(&rec);
+        let built = c.build();
+        assert_eq!(built.stats.responses_scanned, 0);
+        assert!(built.zones.is_empty());
+    }
+
+    #[test]
+    fn single_zone_reconstruction() {
+        let mut resp = TraceRecord::udp_query(0, ip("192.0.2.53"), 53, n("www.example.com"), RrType::A);
+        resp.direction = Direction::Response;
+        resp.message.header.response = true;
+        resp.message.answers.push(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap())));
+        let zone = build_single_zone(&n("example.com"), &[resp]);
+        assert!(zone.validate().is_ok());
+        assert!(zone.get(&n("www.example.com"), RrType::A).is_some());
+    }
+
+    #[test]
+    fn merging_multiple_traces_unions_zones() {
+        // Trace A covers .com; trace B covers .org; the merged build must
+        // produce one hierarchy answering both, with the root zone's data
+        // deduplicated across traces.
+        let mk_response = |tld: &str, ns_addr: &str| {
+            let mut m = Message::default();
+            m.header.response = true;
+            m.authorities.push(Record::new(
+                n(tld),
+                172800,
+                RData::Ns(n(&format!("ns.{tld}"))),
+            ));
+            m.additionals.push(Record::new(
+                n(&format!("ns.{tld}")),
+                172800,
+                RData::A(ns_addr.parse().unwrap()),
+            ));
+            m.authorities.push(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net"))));
+            m.additionals.push(Record::new(
+                n("a.root-servers.net"),
+                518400,
+                RData::A("198.41.0.4".parse().unwrap()),
+            ));
+            m
+        };
+        let mut rec_a = TraceRecord::udp_query(0, ip("198.41.0.4"), 53, n("x.com"), RrType::A);
+        rec_a.direction = Direction::Response;
+        rec_a.message = mk_response("com", "192.5.6.30");
+        let mut rec_b = rec_a.clone();
+        rec_b.message = mk_response("org", "199.19.56.1");
+
+        let built = build_from_traces([std::slice::from_ref(&rec_a), std::slice::from_ref(&rec_b)]);
+        let root = built.zones.iter().find(|z| z.origin().is_root()).unwrap();
+        assert!(root.get(&n("com"), RrType::Ns).is_some());
+        assert!(root.get(&n("org"), RrType::Ns).is_some());
+        // The shared root NS appears once despite arriving in both traces.
+        assert_eq!(root.get(&Name::root(), RrType::Ns).unwrap().rdatas.len(), 1);
+    }
+
+    #[test]
+    fn master_file_export_roundtrips() {
+        let built = harvest_walk().build();
+        let files = built.to_master_files();
+        assert_eq!(files.len(), 3);
+        for (name, text) in &files {
+            let origin = match name.as_str() {
+                "root.zone" => Name::root(),
+                "com.zone" => n("com"),
+                "example_com.zone" => n("example.com"),
+                other => panic!("unexpected file {other}"),
+            };
+            let parsed = ldp_zone::master::parse_zone(&origin, text).unwrap();
+            assert!(parsed.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper into ./results/.
+# LDP_SCALE trades runtime for statistical weight (see README).
+set -x
+SCALE_LIVE=${SCALE_LIVE:-1.0}
+SCALE_SIM=${SCALE_SIM:-0.3}
+LDP_SCALE=$SCALE_LIVE cargo run --release -q -p ldp-bench --bin table1
+LDP_SCALE=$SCALE_LIVE cargo run --release -q -p ldp-bench --bin fig06_timing_error
+LDP_SCALE=$SCALE_LIVE cargo run --release -q -p ldp-bench --bin fig07_interarrival_cdf
+LDP_SCALE=$SCALE_LIVE cargo run --release -q -p ldp-bench --bin fig08_rate_diff
+LDP_SCALE=$SCALE_LIVE cargo run --release -q -p ldp-bench --bin fig09_throughput
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin fig10_dnssec_bandwidth
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin fig11_cpu
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin fig13_tcp_footprint
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin fig14_tls_footprint
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin fig15_latency
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin ablation_nagle
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin ext_dos_load
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin ext_recursive_replay
+LDP_SCALE=$SCALE_SIM cargo run --release -q -p ldp-bench --bin ext_quic

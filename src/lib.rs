@@ -1,0 +1,2 @@
+//! Workspace-root package hosting the integration tests and examples.
+pub use ldplayer::*;
