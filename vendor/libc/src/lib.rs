@@ -1,0 +1,60 @@
+//! Offline stub of `libc`: just enough for `getrusage` on Linux x86_64.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type suseconds_t = i64;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timeval {
+    pub tv_sec: time_t,
+    pub tv_usec: suseconds_t,
+}
+
+/// `struct rusage` from `<sys/resource.h>` (Linux x86_64 layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rusage {
+    pub ru_utime: timeval,
+    pub ru_stime: timeval,
+    pub ru_maxrss: c_long,
+    pub ru_ixrss: c_long,
+    pub ru_idrss: c_long,
+    pub ru_isrss: c_long,
+    pub ru_minflt: c_long,
+    pub ru_majflt: c_long,
+    pub ru_nswap: c_long,
+    pub ru_inblock: c_long,
+    pub ru_oublock: c_long,
+    pub ru_msgsnd: c_long,
+    pub ru_msgrcv: c_long,
+    pub ru_nsignals: c_long,
+    pub ru_nvcsw: c_long,
+    pub ru_nivcsw: c_long,
+}
+
+pub const RUSAGE_SELF: c_int = 0;
+pub const RUSAGE_CHILDREN: c_int = -1;
+
+extern "C" {
+    pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getrusage_self_reports_nonzero_rss() {
+        // SAFETY: getrusage with a zeroed out-param is the documented usage.
+        let rss = unsafe {
+            let mut usage: rusage = std::mem::zeroed();
+            assert_eq!(getrusage(RUSAGE_SELF, &mut usage), 0);
+            usage.ru_maxrss
+        };
+        assert!(rss > 0, "ru_maxrss should be positive, got {rss}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stub of `proptest`: the strategy/macro subset this workspace
+//! uses, with two deliberate simplifications:
+//!
+//! * **Deterministic seeding.** Each test's RNG seed derives from the test
+//!   name and case index, so runs are exactly reproducible in debug and
+//!   release alike (no persistence files, no wall-clock entropy). The
+//!   `*.proptest-regressions` mechanism is unnecessary and unread.
+//! * **No shrinking.** A failing case reports its case index and seed (via
+//!   a drop guard) plus the panicking assertion; it is not minimized.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy, Union};
+pub use test_runner::{CaseGuard, ProptestConfig, TestRng};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+    /// `prop::` namespace alias used by some call sites
+    /// (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Supported grammar (the subset proptest's own
+/// macro accepts that this repo uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )* ) => {
+        $(
+            $crate::__proptest_args! {
+                ($cfg) $(#[$meta])* fn $name [] ( $($args)* ) $body
+            }
+        )*
+    };
+}
+
+/// Arg-list muncher: normalizes `x in strat` / `mut x in strat` into
+/// accumulated `(ident, strat)` pairs, then expands the test fn. A plain
+/// `$(mut)? $arg:ident` matcher is ambiguous (the `ident` fragment also
+/// matches the `mut` keyword), so the two spellings need separate arms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // `mut x in strat, ...`
+    ( ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+      ( mut $arg:ident in $strat:expr $(, $($rest:tt)*)? ) $body:block ) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name [$($acc)* ($arg, $strat)]
+            ( $($($rest)*)? ) $body
+        }
+    };
+    // `x in strat, ...`
+    ( ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+      ( $arg:ident in $strat:expr $(, $($rest:tt)*)? ) $body:block ) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name [$($acc)* ($arg, $strat)]
+            ( $($($rest)*)? ) $body
+        }
+    };
+    // All args consumed: emit the test function.
+    ( ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$(($arg:ident, $strat:expr))*]
+      () $body:block ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Hold strategies across cases so expensive constructions
+            // (precomputed tables etc.) run once per test.
+            $(let $arg = $strat;)*
+            let __strats = ($(&$arg,)*);
+            for __case in 0..config.cases {
+                let __seed = $crate::test_runner::case_seed(stringify!($name), __case);
+                let mut __rng = $crate::TestRng::from_seed(__seed);
+                let __guard =
+                    $crate::CaseGuard::arm(stringify!($name), __case, __seed);
+                {
+                    let ($($arg,)*) = __strats;
+                    // Always-`mut` bindings make `mut x in strat` args
+                    // work; harmless for the rest.
+                    $(#[allow(unused_mut)] let mut $arg =
+                        $crate::Strategy::generate($arg, &mut __rng);)*
+                    $body
+                }
+                __guard.disarm();
+            }
+        }
+    };
+}
+
+/// Asserts inside property tests. The stub panics immediately (no
+/// shrinking), so these are `assert!` with proptest spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The stub cannot re-draw rejected cases; treat assumptions as hard
+/// assertions (strategies in this repo are constructive, so rejection
+/// should be rare to nonexistent).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => { assert!($cond, "prop_assume! rejected (stub treats as failure)") };
+}
+
+/// Chooses among strategies, uniformly (`a, b, c`) or weighted
+/// (`2 => a, 1 => b`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($( $weight:literal => $strat:expr ),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($( $strat:expr ),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Composes named strategies into a derived value:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point()(x in 0i32..10, y in 0i32..10) -> Point {
+///         Point { x, y }
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($params:tt)*)
+            ( $($arg:ident in $strat:expr),* $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::Strategy<Value = $ret> {
+            let strategies = ($($strat,)*);
+            $crate::Map::new(strategies, move |($($arg,)*)| $body)
+        }
+    };
+}

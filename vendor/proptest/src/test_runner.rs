@@ -1,0 +1,96 @@
+//! Test execution support: configuration, the deterministic RNG, and the
+//! failure-reporting drop guard used by the `proptest!` expansion.
+
+/// Subset of proptest's config: only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for source compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// splitmix64: deterministic, seedable, fast — ideal for reproducible
+/// property tests (identical sequences in debug and release).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seed for one test case: FNV-1a over the test name, mixed with the case
+/// index. Stable across runs, platforms, and optimization levels.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Prints the failing case's coordinates if the test body panics, then
+/// lets the original panic propagate (no shrinking in the stub).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn arm(name: &'static str, case: u32, seed: u64) -> CaseGuard {
+        CaseGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest stub: {} failed at case {} (seed {:#x}); \
+                 cases are deterministic — rerun to reproduce",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The JSON value model shared by the `serde` and `serde_json` stubs.
+//! Objects preserve insertion order (a `Vec` of pairs, like serde_json's
+//! `preserve_order` feature).
+
+use std::fmt;
+
+/// A JSON number: integer representations are kept exact so `u64`
+/// microsecond timestamps survive serialization.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn from_i64(v: i64) -> Number {
+        Number::I64(v)
+    }
+
+    pub fn from_u64(v: u64) -> Number {
+        Number::U64(v)
+    }
+
+    pub fn from_f64(v: f64) -> Number {
+        Number::F64(v)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Number::I64(v) => v as f64,
+            Number::U64(v) => v as f64,
+            Number::F64(v) => v,
+        })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::U64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= 0.0 && v < 1.9e19 => Some(v as u64),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::F64(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 1e16 {
+                    // Keep a ".0" so the value re-parses as a float.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Inf; serde_json serializes them as null.
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.get_from(self)
+    }
+}
+
+/// Indexing into arrays (`usize`) and objects (`&str`).
+pub trait ValueIndex {
+    fn get_from<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for usize {
+    fn get_from<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        match value {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for &str {
+    fn get_from<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        match value {
+            Value::Object(o) => o.iter().find(|(k, _)| k == self).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for String {
+    fn get_from<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        self.as_str().get_from(value)
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    fn index(&self, index: I) -> &Value {
+        index.get_from(self).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+#[doc(hidden)]
+pub fn escape_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut out = String::new();
+                escape_json_string(s, &mut out);
+                f.write_str(&out)
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut key = String::new();
+                    escape_json_string(k, &mut key);
+                    write!(f, "{key}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}

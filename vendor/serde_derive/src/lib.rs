@@ -1,0 +1,110 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` for non-generic
+//! structs with named fields (the only shape this workspace derives).
+//! Token-level parsing, no syn/quote.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>`, then the brace group of fields.
+    let struct_pos = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "struct"))
+        .ok_or("derive(Serialize) stub supports structs only")?;
+    let name = match tokens.get(struct_pos + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected struct name".to_string()),
+    };
+    if matches!(tokens.get(struct_pos + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("derive(Serialize) stub does not support generics".to_string());
+    }
+    let fields_group = tokens[struct_pos..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .ok_or("derive(Serialize) stub supports named-field structs only")?;
+
+    let fields = field_names(fields_group.stream())?;
+
+    let mut pushes = String::new();
+    for field in &fields {
+        pushes.push_str(&format!(
+            "entries.push(({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{field})));\n",
+            field
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(entries)\n\
+             }}\n\
+         }}"
+    );
+    out.parse().map_err(|e| format!("derive expansion failed: {e:?}"))
+}
+
+/// Field names from a named-field body: the last ident before each
+/// top-level `:` (skips visibility modifiers and `#[...]` attributes).
+fn field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut current_idents: Vec<String> = Vec::new();
+    let mut in_type = false;
+    let mut pending_attr = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => pending_attr = true,
+            TokenTree::Group(_) if pending_attr => pending_attr = false,
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type => {
+                let field = current_idents
+                    .last()
+                    .cloned()
+                    .ok_or("field name expected before ':'")?;
+                names.push(field);
+                current_idents.clear();
+                in_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth_is_zero(p) => {
+                // Top-level comma: commas inside generic types live in
+                // `<...>` which are *not* groups — track via in_type reset
+                // below instead.
+                in_type = false;
+            }
+            TokenTree::Ident(i) if !in_type => {
+                let s = i.to_string();
+                if s != "pub" {
+                    current_idents.push(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(names)
+}
+
+/// Commas inside `Vec<Vec<Value>>`-style types would confuse a naive
+/// splitter — but those appear only while `in_type` is set, and we only
+/// treat a comma as a separator to clear `in_type`. A comma inside angle
+/// brackets also clears it, which is still correct: the next `:` at field
+/// level re-enters type position only after a new field name ident, and
+/// idents inside type position are ignored until then. The one pattern
+/// this would misparse is an associated-type path segment containing
+/// `ident :` right after a comma inside generics (e.g. `Fn(A) -> B`
+/// bounds) — none of the derived structs use such types.
+fn angle_depth_is_zero(_p: &proc_macro::Punct) -> bool {
+    true
+}

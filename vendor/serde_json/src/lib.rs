@@ -1,0 +1,207 @@
+//! Offline stub of `serde_json` over the `serde` stub's value model:
+//! `Value`, the `json!` macro, pretty/compact serialization, and a strict
+//! recursive-descent parser.
+
+pub use serde::value::{Number, Value};
+
+mod parse;
+
+pub use parse::ParseError;
+
+/// Error type covering both serialization (infallible here) and parsing.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input).map_err(|e| Error(e.to_string()))?;
+    T::from_json_value(value).map_err(Error)
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, indent + STEP, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + STEP));
+                serde::value::escape_json_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + STEP, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports object/array literals,
+/// `null`, and arbitrary Rust expressions whose types implement
+/// `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_items!(items; $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut entries: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_entries!(entries; $($tt)*);
+        $crate::Value::Object(entries)
+    }};
+    ($($expr:tt)+) => { $crate::to_value(&($($expr)+)) };
+}
+
+/// Internal: array elements — accumulate tokens up to each top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; $($val:tt)+) => {
+        $crate::json_items_acc!($items; () $($val)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items_acc {
+    ($items:ident; ($($acc:tt)+)) => {
+        $items.push($crate::json!($($acc)+));
+    };
+    ($items:ident; ($($acc:tt)+) , $($rest:tt)*) => {
+        $items.push($crate::json!($($acc)+));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_items_acc!($items; ($($acc)* $next) $($rest)*);
+    };
+}
+
+/// Internal: object entries — `key: value` pairs, string-literal or ident
+/// keys, values accumulated up to each top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:tt : $($rest:tt)+) => {
+        $crate::json_entries_acc!($entries; $key () $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries_acc {
+    ($entries:ident; $key:tt ($($acc:tt)+)) => {
+        $entries.push(($crate::json_key!($key), $crate::json!($($acc)+)));
+    };
+    ($entries:ident; $key:tt ($($acc:tt)+) , $($rest:tt)*) => {
+        $entries.push(($crate::json_key!($key), $crate::json!($($acc)+)));
+        $crate::json_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:tt ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entries_acc!($entries; $key ($($acc)* $next) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        ($key).to_string()
+    };
+    ($key:ident) => {
+        stringify!($key).to_string()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let title = String::from("t");
+        let v = json!({
+            "title": title,
+            "n": 3,
+            "arr": [1, 2.5, "x", null],
+            "nested": { "a": true },
+        });
+        assert_eq!(v["title"], "t");
+        assert_eq!(v["n"].as_i64(), Some(3));
+        assert_eq!(v["arr"][1].as_f64(), Some(2.5));
+        assert!(v["arr"][3].is_null());
+        assert_eq!(v["nested"]["a"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn json_macro_accepts_method_call_values() {
+        let xs = [1.0f64, 2.0];
+        let v = json!({ "mean": xs.iter().sum::<f64>() / xs.len() as f64 });
+        assert_eq!(v["mean"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn pretty_roundtrips_through_parser() {
+        let v = json!({ "a": [1, 2], "b": { "c": "d\n\"quoted\"" }, "e": 1.25 });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_render_exact_and_floats_keep_point() {
+        assert_eq!(json!(15).to_string(), "15");
+        assert_eq!(json!(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(json!(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{ \"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+}

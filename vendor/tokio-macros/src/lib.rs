@@ -1,0 +1,116 @@
+//! Offline stub of `tokio-macros`: `#[tokio::main]` and `#[tokio::test]`.
+//!
+//! Both transforms are purely token-level (no syn/quote): strip the `async`
+//! keyword from the item, wrap the body in
+//! `tokio::runtime::Runtime::new().block_on(async move { ... })`, and for
+//! `test` prepend `#[test]`. Attribute arguments (`flavor`,
+//! `worker_threads`, ...) are accepted and ignored — the stub runtime is
+//! thread-per-task, so every flavor is "multi thread".
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
+
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    match rewrite(item, false) {
+        Ok(ts) => ts,
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    match rewrite(item, true) {
+        Ok(ts) => ts,
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> Result<TokenStream, String> {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Drop the first top-level `async` keyword (it must precede `fn`).
+    let async_pos = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+        .ok_or_else(|| "#[tokio::main]/#[tokio::test] requires an async fn".to_string())?;
+    tokens.remove(async_pos);
+
+    // The final token must be the function body block.
+    let body = match tokens.pop() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => return Err("expected a function body block".to_string()),
+    };
+
+    // { tokio::runtime::Runtime::new().expect("runtime").block_on(async move <body>) }
+    let mut wrapped = TokenStream::new();
+    wrapped.extend(path(&["tokio", "runtime", "Runtime", "new"]));
+    wrapped.extend([
+        group(Delimiter::Parenthesis, TokenStream::new()),
+        punct('.'),
+        ident("expect"),
+        group(Delimiter::Parenthesis, literal_str("tokio stub runtime")),
+        punct('.'),
+        ident("block_on"),
+    ]);
+    let mut block_on_arg = TokenStream::new();
+    block_on_arg.extend([ident("async"), ident("move"), TokenTree::Group(body)]);
+    wrapped.extend([group(Delimiter::Parenthesis, block_on_arg)]);
+
+    let mut out = TokenStream::new();
+    if is_test {
+        // #[::core::prelude::v1::test]
+        out.extend([punct('#')]);
+        let mut attr = TokenStream::new();
+        attr.extend(colon_colon());
+        attr.extend(path_raw(&["core", "prelude", "v1", "test"]));
+        out.extend([group(Delimiter::Bracket, attr)]);
+    }
+    out.extend(tokens);
+    out.extend([group(Delimiter::Brace, wrapped)]);
+    Ok(out)
+}
+
+fn ident(name: &str) -> TokenTree {
+    TokenTree::Ident(Ident::new(name, Span::call_site()))
+}
+
+fn punct(c: char) -> TokenTree {
+    TokenTree::Punct(Punct::new(c, Spacing::Alone))
+}
+
+/// A `::` path separator: the first colon must be `Joint` or the parser
+/// sees two lone colons instead of one separator.
+fn colon_colon() -> [TokenTree; 2] {
+    [
+        TokenTree::Punct(Punct::new(':', Spacing::Joint)),
+        TokenTree::Punct(Punct::new(':', Spacing::Alone)),
+    ]
+}
+
+fn group(delim: Delimiter, inner: TokenStream) -> TokenTree {
+    TokenTree::Group(Group::new(delim, inner))
+}
+
+fn literal_str(s: &str) -> TokenStream {
+    format!("{s:?}").parse().expect("string literal tokens")
+}
+
+/// `a::b::c` path segments joined by `::` (leading `::` not included).
+fn path_raw(segments: &[&str]) -> TokenStream {
+    let mut ts = TokenStream::new();
+    for (i, seg) in segments.iter().enumerate() {
+        if i > 0 {
+            ts.extend(colon_colon());
+        }
+        ts.extend([ident(seg)]);
+    }
+    ts
+}
+
+fn path(segments: &[&str]) -> TokenStream {
+    path_raw(segments)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}

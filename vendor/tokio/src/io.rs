@@ -1,0 +1,74 @@
+//! `AsyncReadExt`/`AsyncWriteExt`: async-signature wrappers over blocking
+//! std I/O, implemented directly on the stub's socket types.
+
+use std::io::{Read, Write};
+
+use crate::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use crate::net::TcpStream;
+
+pub trait AsyncReadExt {
+    fn read_exact(
+        &mut self,
+        buf: &mut [u8],
+    ) -> impl std::future::Future<Output = std::io::Result<usize>> + Send;
+
+    fn read(
+        &mut self,
+        buf: &mut [u8],
+    ) -> impl std::future::Future<Output = std::io::Result<usize>> + Send;
+}
+
+pub trait AsyncWriteExt {
+    fn write_all(
+        &mut self,
+        buf: &[u8],
+    ) -> impl std::future::Future<Output = std::io::Result<()>> + Send;
+
+    fn flush(&mut self) -> impl std::future::Future<Output = std::io::Result<()>> + Send;
+
+    fn shutdown(&mut self) -> impl std::future::Future<Output = std::io::Result<()>> + Send;
+}
+
+macro_rules! impl_async_read {
+    ($ty:ty, |$self_:ident| $reader:expr) => {
+        impl AsyncReadExt for $ty {
+            async fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let $self_ = self;
+                Read::read_exact($reader, buf)?;
+                Ok(buf.len())
+            }
+
+            async fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let $self_ = self;
+                Read::read($reader, buf)
+            }
+        }
+    };
+}
+
+macro_rules! impl_async_write {
+    ($ty:ty, |$self_:ident| $writer:expr) => {
+        impl AsyncWriteExt for $ty {
+            async fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+                let $self_ = self;
+                Write::write_all($writer, buf)
+            }
+
+            async fn flush(&mut self) -> std::io::Result<()> {
+                let $self_ = self;
+                Write::flush($writer)
+            }
+
+            async fn shutdown(&mut self) -> std::io::Result<()> {
+                let $self_ = self;
+                let stream: &std::net::TcpStream = $writer;
+                stream.shutdown(std::net::Shutdown::Write)
+            }
+        }
+    };
+}
+
+impl_async_read!(TcpStream, |s| &mut s.inner);
+impl_async_read!(OwnedReadHalf, |s| &mut (&*s.inner));
+impl_async_write!(TcpStream, |s| &mut s.inner);
+impl_async_write!(OwnedWriteHalf, |s| &mut (&*s.inner));

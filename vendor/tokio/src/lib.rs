@@ -1,0 +1,58 @@
+//! Offline stub of `tokio`: a thread-per-task runtime exposing the subset
+//! of the tokio 1.x API this workspace uses.
+//!
+//! Model: `spawn` starts an OS thread that drives the future to completion
+//! with a park/unpark executor; async I/O primitives perform *blocking*
+//! syscalls inside `poll` (safe because every task owns its thread). This
+//! preserves tokio's observable semantics for the patterns in this repo —
+//! channel backpressure, task fan-out/join, socket concurrency via `Arc` —
+//! with two caveats documented in vendor/README.md: `JoinHandle::abort`
+//! detaches instead of cancelling, and a blocked I/O call cannot be raced
+//! against a timer (no `select!`).
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod signal;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+/// `#[tokio::main]` / `#[tokio::test]` attribute macros.
+pub use tokio_macros::{main, test};
+
+pub(crate) mod exec {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+    use std::thread::Thread;
+
+    struct ThreadWaker(Thread);
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Drives `fut` to completion on the current thread.
+    pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
+        let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                // Parking races are benign: a wake between poll and park
+                // leaves a token that makes the next park return at once.
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Async-looking sockets over blocking std types (safe in the
+//! thread-per-task model; see crate docs).
+
+use std::io;
+use std::net::SocketAddr;
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+/// UDP socket; `&self` methods are safe to share across tasks via `Arc`
+/// exactly like real tokio (std sockets allow concurrent send/recv).
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        grow_udp_buffers(&inner);
+        Ok(UdpSocket { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+        self.inner.send_to(buf, target)
+    }
+
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.inner.recv_from(buf)
+    }
+
+    pub async fn connect<A: ToSocketAddrs>(&self, addr: A) -> io::Result<()> {
+        self.inner.connect(addr)
+    }
+
+    pub async fn send(&self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.send(buf)
+    }
+
+    pub async fn recv(&self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.recv(buf)
+    }
+}
+
+/// Best-effort SO_RCVBUF/SO_SNDBUF bump. Real tokio drains sockets from an
+/// epoll loop fast enough that default buffers suffice; this stub's
+/// thread-per-task receivers can lag a burst of blocking sends, so give the
+/// kernel room to absorb it. Failure is fine — the socket still works.
+#[cfg(unix)]
+fn grow_udp_buffers(socket: &std::net::UdpSocket) {
+    use std::os::fd::AsRawFd;
+
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    const SO_SNDBUF: i32 = 7;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    let size: i32 = 4 * 1024 * 1024;
+    let ptr = &size as *const i32 as *const core::ffi::c_void;
+    let len = std::mem::size_of::<i32>() as u32;
+    let fd = socket.as_raw_fd();
+    // SAFETY: fd is a live socket owned by `socket`; optval points at a
+    // properly-sized i32 that outlives the call.
+    unsafe {
+        setsockopt(fd, SOL_SOCKET, SO_RCVBUF, ptr, len);
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, ptr, len);
+    }
+}
+
+#[cfg(not(unix))]
+fn grow_udp_buffers(_socket: &std::net::UdpSocket) {}
+
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        Ok(TcpListener {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        Ok((TcpStream { inner: stream }, peer))
+    }
+}
+
+#[derive(Debug)]
+pub struct TcpStream {
+    pub(crate) inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        Ok(TcpStream {
+            inner: std::net::TcpStream::connect(addr)?,
+        })
+    }
+
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Splits into owned read/write halves (each a dup'd fd, as in tokio).
+    pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+        let stream = Arc::new(self.inner);
+        (
+            tcp::OwnedReadHalf {
+                inner: stream.clone(),
+            },
+            tcp::OwnedWriteHalf { inner: stream },
+        )
+    }
+}
+
+pub mod tcp {
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    pub struct OwnedReadHalf {
+        pub(crate) inner: Arc<std::net::TcpStream>,
+    }
+
+    #[derive(Debug)]
+    pub struct OwnedWriteHalf {
+        pub(crate) inner: Arc<std::net::TcpStream>,
+    }
+}

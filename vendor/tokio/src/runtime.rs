@@ -1,0 +1,49 @@
+//! Runtime handle: `block_on` drives a future on the calling thread;
+//! spawned tasks are independent OS threads, so the runtime itself owns no
+//! worker pool.
+
+use std::future::Future;
+
+#[derive(Debug)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        crate::exec::block_on(fut)
+    }
+}
+
+/// Builder accepted for source compatibility; every configuration yields
+/// the same thread-per-task runtime.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    pub fn new_current_thread() -> Builder {
+        Builder::default()
+    }
+
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

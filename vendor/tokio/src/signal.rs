@@ -1,0 +1,9 @@
+//! Signal handling stub: `ctrl_c` parks the calling task forever. The
+//! process default SIGINT disposition (terminate) is untouched, so the
+//! observable behavior of "run until Ctrl-C" call sites is preserved.
+
+pub async fn ctrl_c() -> std::io::Result<()> {
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,80 @@
+//! `tokio::sync` subset: bounded mpsc channels over `std::sync::mpsc`.
+//! Sends/receives block the calling task's thread, which reproduces
+//! tokio's backpressure semantics in the thread-per-task model.
+
+pub mod mpsc {
+    use std::sync::mpsc as std_mpsc;
+
+    pub mod error {
+        /// Channel closed with the value that could not be delivered.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+    }
+
+    pub use error::SendError;
+
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: std_mpsc::SyncSender<T>,
+    }
+
+    // Derived Clone would require T: Clone; the sender itself never clones T.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+
+        pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                std_mpsc::TrySendError::Full(v) | std_mpsc::TrySendError::Disconnected(v) => {
+                    SendError(v)
+                }
+            })
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: std_mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub async fn recv(&mut self) -> Option<T> {
+            self.inner.recv().ok()
+        }
+
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            self.inner.recv().ok()
+        }
+
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    /// Bounded channel: senders block when `capacity` messages are queued.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std_mpsc::sync_channel(capacity);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}

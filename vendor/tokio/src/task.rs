@@ -1,0 +1,147 @@
+//! Task spawning: every task is an OS thread (see crate docs).
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc as std_mpsc;
+use std::task::{Context, Poll};
+
+/// Error returned when a joined task panicked.
+pub struct JoinError {
+    panic: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl JoinError {
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+
+    pub fn into_panic(self) -> Box<dyn std::any::Any + Send + 'static> {
+        self.panic
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError::Panic({})", panic_message(&self.panic))
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", panic_message(&self.panic))
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+fn panic_message<'a>(payload: &'a Box<dyn std::any::Any + Send + 'static>) -> &'a str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Handle to a spawned task. Awaiting it blocks until the task finishes.
+///
+/// `abort` detaches the task instead of cancelling it (a thread blocked in
+/// a syscall cannot be interrupted portably); the task dies with the
+/// process. Do not await a handle after aborting it.
+pub struct JoinHandle<T> {
+    rx: std_mpsc::Receiver<std::thread::Result<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn abort(&self) {
+        // Detach-only: see type docs.
+    }
+
+    pub fn is_finished(&self) -> bool {
+        // Non-destructive check is not possible with a oneshot receiver;
+        // report false ("still running") which is always safe for callers.
+        false
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Blocking join: the awaiting task owns its thread.
+        match self.rx.recv() {
+            Ok(Ok(v)) => Poll::Ready(Ok(v)),
+            Ok(Err(panic)) => Poll::Ready(Err(JoinError { panic })),
+            Err(_) => {
+                // Sender dropped without a result: the task thread was
+                // killed mid-flight (process teardown). Surface as panic.
+                Poll::Ready(Err(JoinError {
+                    panic: Box::new("task disappeared"),
+                }))
+            }
+        }
+    }
+}
+
+/// Spawns `fut` on a dedicated thread driving it to completion.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = std_mpsc::sync_channel(1);
+    std::thread::Builder::new()
+        .name("tokio-stub-task".to_string())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::exec::block_on(fut)
+            }));
+            let _ = tx.send(result);
+        })
+        .expect("spawn task thread");
+    JoinHandle { rx }
+}
+
+/// Runs a blocking closure on a dedicated thread.
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (tx, rx) = std_mpsc::sync_channel(1);
+    std::thread::Builder::new()
+        .name("tokio-stub-blocking".to_string())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        })
+        .expect("spawn blocking thread");
+    JoinHandle { rx }
+}
+
+/// Cooperatively yields: wakes itself, reports `Pending` once, and also
+/// yields the OS thread so sibling tasks pinned to the same core can run.
+pub async fn yield_now() {
+    struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                std::thread::yield_now();
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    YieldNow { yielded: false }.await
+}

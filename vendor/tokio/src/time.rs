@@ -1,0 +1,44 @@
+//! Timers: blocking sleeps (each task owns its thread).
+
+use std::time::Duration;
+
+/// Mirror of `tokio::time::Instant`: convertible from/to `std::time::Instant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instant(std::time::Instant);
+
+impl Instant {
+    pub fn now() -> Instant {
+        Instant(std::time::Instant::now())
+    }
+
+    pub fn into_std(self) -> std::time::Instant {
+        self.0
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+impl From<std::time::Instant> for Instant {
+    fn from(i: std::time::Instant) -> Instant {
+        Instant(i)
+    }
+}
+
+impl From<Instant> for std::time::Instant {
+    fn from(i: Instant) -> std::time::Instant {
+        i.0
+    }
+}
+
+pub async fn sleep(duration: Duration) {
+    std::thread::sleep(duration);
+}
+
+pub async fn sleep_until(deadline: Instant) {
+    let now = std::time::Instant::now();
+    if let Some(remaining) = deadline.0.checked_duration_since(now) {
+        std::thread::sleep(remaining);
+    }
+}
