@@ -12,7 +12,8 @@ fn referral_response() -> Message {
     let mut m = Message::response_for(&q);
     for i in 0..13 {
         let ns = n(&format!("{}.gtld-servers.net", (b'a' + i) as char));
-        m.authorities.push(Record::new(n("com"), 172800, RData::Ns(ns.clone())));
+        m.authorities
+            .push(Record::new(n("com"), 172800, RData::Ns(ns.clone())));
         m.additionals.push(Record::new(
             ns,
             172800,

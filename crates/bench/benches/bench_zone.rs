@@ -55,5 +55,10 @@ fn bench_master_parse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lookup_kinds, bench_zone_size, bench_master_parse);
+criterion_group!(
+    benches,
+    bench_lookup_kinds,
+    bench_zone_size,
+    bench_master_parse
+);
 criterion_main!(benches);

@@ -55,9 +55,7 @@ fn main() {
             .server_max_connections(conn_cap)
             .queriers(8)
             .run();
-        let cpu = result
-            .steady_state(10.0, |s| s.cpu_percent)
-            .unwrap_or(0.0);
+        let cpu = result.steady_state(10.0, |s| s.cpu_percent).unwrap_or(0.0);
         let actual_rate = result.outcomes.len() as f64 / 30.0;
         let normalized = cpu * 39_000.0 / actual_rate.max(1.0);
         println!(

@@ -34,7 +34,13 @@ fn main() {
         ],
     );
     for (label, mutator) in [
-        ("udp", Some(mutate::QueryMutator::new(1).push(ldp_trace::Mutation::SetProtocol(ldp_trace::Protocol::Udp)))),
+        (
+            "udp",
+            Some(
+                mutate::QueryMutator::new(1)
+                    .push(ldp_trace::Mutation::SetProtocol(ldp_trace::Protocol::Udp)),
+            ),
+        ),
         ("tcp", Some(mutate::all_tcp(1))),
         ("tls", Some(mutate::all_tls(1))),
         ("quic", Some(mutate::all_quic(1))),
@@ -48,7 +54,11 @@ fn main() {
             .rtt_ms(1)
             .tcp_idle_timeout_s(20)
             .run();
-        assert!(result.answer_rate() > 0.98, "{label}: rate {}", result.answer_rate());
+        assert!(
+            result.answer_rate() > 0.98,
+            "{label}: rate {}",
+            result.answer_rate()
+        );
         let mem = result
             .steady_state(cfg.duration_s * 0.4, |s| s.memory_gb)
             .unwrap_or(0.0);

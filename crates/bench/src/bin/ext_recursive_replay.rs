@@ -34,23 +34,57 @@ const STUB: &str = "10.0.0.1";
 fn hierarchy(zones: usize) -> ViewTable {
     let sld_ns: IpAddr = "192.0.2.53".parse().unwrap();
     let mut root = Zone::with_fake_soa(Name::root());
-    root.add(Record::new(Name::root(), 518400, RData::Ns(Name::parse("a.root-servers.net").unwrap()))).unwrap();
-    root.add(Record::new(Name::parse("a.root-servers.net").unwrap(), 518400, RData::A(ROOT_NS.parse().unwrap()))).unwrap();
-    root.add(Record::new(Name::parse("example").unwrap(), 172800, RData::Ns(Name::parse("ns.example").unwrap()))).unwrap();
-    root.add(Record::new(Name::parse("ns.example").unwrap(), 172800, RData::A(TLD_NS.parse().unwrap()))).unwrap();
+    root.add(Record::new(
+        Name::root(),
+        518400,
+        RData::Ns(Name::parse("a.root-servers.net").unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        Name::parse("a.root-servers.net").unwrap(),
+        518400,
+        RData::A(ROOT_NS.parse().unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        Name::parse("example").unwrap(),
+        172800,
+        RData::Ns(Name::parse("ns.example").unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        Name::parse("ns.example").unwrap(),
+        172800,
+        RData::A(TLD_NS.parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut tld = Zone::with_fake_soa(Name::parse("example").unwrap());
     let mut pairs: Vec<(IpAddr, Zone)> = Vec::new();
     for i in 0..zones {
         let origin = Name::parse(&format!("zone{i:04}.example")).unwrap();
-        tld.add(Record::new(origin.clone(), 86400, RData::Ns(Name::parse("ns.hosting.example").unwrap()))).unwrap();
-        tld.add(Record::new(Name::parse("ns.hosting.example").unwrap(), 86400, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+        tld.add(Record::new(
+            origin.clone(),
+            86400,
+            RData::Ns(Name::parse("ns.hosting.example").unwrap()),
+        ))
+        .unwrap();
+        tld.add(Record::new(
+            Name::parse("ns.hosting.example").unwrap(),
+            86400,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
         let mut z = Zone::with_fake_soa(origin.clone());
         for host in ["www", "mail", "api", "cdn"] {
             z.add(Record::new(
                 origin.prepend(host.as_bytes()).unwrap(),
                 300,
-                RData::A(format!("203.0.{}.{}", i / 250, 1 + i % 250).parse().unwrap()),
+                RData::A(
+                    format!("203.0.{}.{}", i / 250, 1 + i % 250)
+                        .parse()
+                        .unwrap(),
+                ),
             ))
             .unwrap();
         }
@@ -100,8 +134,7 @@ impl Node for StubReplayer {
                 if let Payload::Udp(data) = &p.payload {
                     if let Ok(msg) = Message::from_bytes(data) {
                         if let Some((idx, sent)) = self.pending.remove(&msg.header.id) {
-                            self.outcomes[idx].1 =
-                                Some((ctx.now() - sent).as_secs_f64() * 1000.0);
+                            self.outcomes[idx].1 = Some((ctx.now() - sent).as_secs_f64() * 1000.0);
                         }
                     }
                 }
@@ -157,22 +190,36 @@ fn main() {
     let rec_ref: &RecursiveNode = sim.node_as(rec).unwrap();
     let meta_ref: &AuthServerNode = sim.node_as(meta).unwrap();
 
-    let answered = stub_ref.outcomes.iter().filter(|(_, l)| l.is_some()).count();
+    let answered = stub_ref
+        .outcomes
+        .iter()
+        .filter(|(_, l)| l.is_some())
+        .count();
     let amplification = rec_ref.core.upstream_queries as f64 / n_queries as f64;
     let hit_rate = rec_ref.core.cache.hits as f64
         / (rec_ref.core.cache.hits + rec_ref.core.cache.misses).max(1) as f64;
 
-    let mut report = Report::new("Extension: recursive trace replay through the emulated hierarchy");
+    let mut report =
+        Report::new("Extension: recursive trace replay through the emulated hierarchy");
     let summary = report.section(
         format!("Rec-17-like trace, 549 zones, one meta server (LDP_SCALE={scale})"),
         &["metric", "value"],
     );
     summary.row(vec![json!("stub queries"), json!(n_queries)]);
     summary.row(vec![json!("answered"), json!(answered)]);
-    summary.row(vec![json!("upstream (iterative) queries"), json!(rec_ref.core.upstream_queries)]);
-    summary.row(vec![json!("amplification (upstream/stub)"), json!(amplification)]);
+    summary.row(vec![
+        json!("upstream (iterative) queries"),
+        json!(rec_ref.core.upstream_queries),
+    ]);
+    summary.row(vec![
+        json!("amplification (upstream/stub)"),
+        json!(amplification),
+    ]);
     summary.row(vec![json!("cache hit rate"), json!(hit_rate)]);
-    summary.row(vec![json!("meta-server queries served"), json!(meta_ref.usage.udp_queries)]);
+    summary.row(vec![
+        json!("meta-server queries served"),
+        json!(meta_ref.usage.udp_queries),
+    ]);
 
     // Cold vs warm latency: split by first-vs-later occurrence per qname
     // cache state using latency clusters (cold = multi-hop).
@@ -185,7 +232,10 @@ fn main() {
             "{n_queries} stub queries, {answered} answered; amplification {amplification:.2}×; cache hit rate {:.1}%",
             hit_rate * 100.0
         );
-        println!("latency: median {:.0} ms, q3 {:.0} ms, p95 {:.0} ms", s.median, s.q3, s.p95);
+        println!(
+            "latency: median {:.0} ms, q3 {:.0} ms, p95 {:.0} ms",
+            s.median, s.q3, s.p95
+        );
     }
 
     // First-queries walk three levels (3 × WAN RTT + LAN RTT); repeats are

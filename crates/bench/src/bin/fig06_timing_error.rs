@@ -45,7 +45,9 @@ async fn main() {
     let mut report = Report::new("Figure 6: query timing error (ms) in replay");
     let section = report.section(
         format!("per-trace send-time error, warmup removed (LDP_SCALE={scale})"),
-        &["trace", "n", "min", "p5", "q1", "median", "q3", "p95", "max"],
+        &[
+            "trace", "n", "min", "p5", "q1", "median", "q3", "p95", "max",
+        ],
     );
 
     // Keep live replays short: error statistics converge quickly.
@@ -60,7 +62,10 @@ async fn main() {
     for level in 0..=4u32 {
         let mut cfg = SyntheticConfig::syn(level);
         cfg.duration_s = secs as u64;
-        cases.push((format!("syn-{level} ({}s gap)", cfg.interarrival_us as f64 / 1e6), cfg.generate()));
+        cases.push((
+            format!("syn-{level} ({}s gap)", cfg.interarrival_us as f64 / 1e6),
+            cfg.generate(),
+        ));
     }
 
     for (label, trace) in cases {
@@ -91,6 +96,8 @@ async fn main() {
         ]);
     }
 
-    println!("\npaper shape: quartiles within ±2.5 ms (±8 ms at 0.1 s gaps); extremes within ±17 ms");
+    println!(
+        "\npaper shape: quartiles within ±2.5 ms (±8 ms at 0.1 s gaps); extremes within ±17 ms"
+    );
     emit(&report, "fig06_timing_error");
 }

@@ -66,10 +66,10 @@ async fn main() {
         }
         let diffs = replayed.relative_difference(&original);
         let cdf = Cdf::new(&diffs);
-        let within_01 = diffs.iter().filter(|d| d.abs() <= 0.001).count() as f64
-            / diffs.len().max(1) as f64;
-        let within_1 = diffs.iter().filter(|d| d.abs() <= 0.01).count() as f64
-            / diffs.len().max(1) as f64;
+        let within_01 =
+            diffs.iter().filter(|d| d.abs() <= 0.001).count() as f64 / diffs.len().max(1) as f64;
+        let within_1 =
+            diffs.iter().filter(|d| d.abs() <= 0.01).count() as f64 / diffs.len().max(1) as f64;
         println!(
             "trial {trial}: buckets={} median diff={:+.5} within±0.1%={:.1}% within±1%={:.1}%",
             diffs.len(),

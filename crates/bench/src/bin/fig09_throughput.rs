@@ -79,7 +79,12 @@ async fn main() {
         window += 1;
         rates.push(qps);
         println!("window {window}: {qps:>10.0} q/s  {mbps:>7.2} Mb/s");
-        section.row(vec![json!(window), json!(out.sent), json!(qps), json!(mbps)]);
+        section.row(vec![
+            json!(window),
+            json!(out.sent),
+            json!(qps),
+            json!(mbps),
+        ]);
     }
 
     let mean = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
@@ -98,6 +103,8 @@ async fn main() {
         json!(max_rss_bytes() as f64 / 1e6),
     ]);
 
-    println!("\npaper shape: flat CPU-bound plateau; 87 k q/s (60 Mb/s) on the paper's 2.4 GHz Xeon");
+    println!(
+        "\npaper shape: flat CPU-bound plateau; 87 k q/s (60 Mb/s) on the paper's 2.4 GHz Xeon"
+    );
     emit(&report, "fig09_throughput");
 }

@@ -48,10 +48,12 @@ fn main() {
             .push(Mutation::SetDoBit { fraction: do_share })
             .apply_all(&mut trace);
 
-        let result = SimExperiment::signed_root(trace, signing)
-            .rtt_ms(1)
-            .run();
-        assert!(result.answer_rate() > 0.99, "answer rate {}", result.answer_rate());
+        let result = SimExperiment::signed_root(trace, signing).rtt_ms(1).run();
+        assert!(
+            result.answer_rate() > 0.99,
+            "answer rate {}",
+            result.answer_rate()
+        );
         let warmup = base_cfg.duration_s * 0.2;
         let s = result
             .response_bandwidth_summary(warmup)

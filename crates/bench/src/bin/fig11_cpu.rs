@@ -17,7 +17,12 @@ fn main() {
     let mut report = Report::new("Figure 11: overall CPU usage vs TCP time-out window");
     let section = report.section(
         format!("CPU percent of 48-core server, steady state (LDP_SCALE={scale})"),
-        &["workload", "timeout_s", "cpu_percent", "cpu_percent_at_paper_rate"],
+        &[
+            "workload",
+            "timeout_s",
+            "cpu_percent",
+            "cpu_percent_at_paper_rate",
+        ],
     );
 
     let cfg = traces::b17a_like(scale);
@@ -41,7 +46,11 @@ fn main() {
                 .rtt_ms(1)
                 .tcp_idle_timeout_s(timeout)
                 .run();
-            assert!(result.answer_rate() > 0.98, "{label} t={timeout}: rate {}", result.answer_rate());
+            assert!(
+                result.answer_rate() > 0.98,
+                "{label} t={timeout}: rate {}",
+                result.answer_rate()
+            );
             let cpu = result
                 .steady_state(cfg.duration_s * 0.3, |s| s.cpu_percent)
                 .unwrap_or(0.0);
@@ -50,7 +59,12 @@ fn main() {
             println!(
                 "{label:<18} timeout {timeout:>2}s: {cpu:6.3}% CPU  ({normalized:5.2}% at paper rate)"
             );
-            section.row(vec![json!(label), json!(timeout), json!(cpu), json!(normalized)]);
+            section.row(vec![
+                json!(label),
+                json!(timeout),
+                json!(cpu),
+                json!(normalized),
+            ]);
         }
     }
 

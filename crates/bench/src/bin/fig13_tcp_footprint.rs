@@ -36,7 +36,11 @@ fn main() {
     let mut cases: Vec<(String, SimRunResult, f64)> = Vec::new();
     for t in timeouts {
         let (r, dur) = run_case(true, t, scale);
-        assert!(r.answer_rate() > 0.98, "timeout {t}: rate {}", r.answer_rate());
+        assert!(
+            r.answer_rate() > 0.98,
+            "timeout {t}: rate {}",
+            r.answer_rate()
+        );
         cases.push((format!("all-TCP {t}s"), r, dur));
     }
     {
@@ -51,13 +55,22 @@ fn main() {
     // harness traces do); the 2 GB process baseline does not scale.
     let summary = report.section(
         format!("steady-state means (LDP_SCALE={scale})"),
-        &["case", "memory_gb", "memory_gb_at_paper_rate", "established", "time_wait", "idle_closed_total"],
+        &[
+            "case",
+            "memory_gb",
+            "memory_gb_at_paper_rate",
+            "established",
+            "time_wait",
+            "idle_closed_total",
+        ],
     );
     let base_gb = 2.0;
     for (label, r, dur) in &cases {
         let from = dur * 0.4;
         let mem = r.steady_state(from, |s| s.memory_gb).unwrap_or(0.0);
-        let est = r.steady_state(from, |s| s.established as f64).unwrap_or(0.0);
+        let est = r
+            .steady_state(from, |s| s.established as f64)
+            .unwrap_or(0.0);
         let tw = r.steady_state(from, |s| s.time_wait as f64).unwrap_or(0.0);
         let rate = r.outcomes.len() as f64 / dur;
         let f = 39_000.0 / rate.max(1.0);
@@ -103,8 +116,14 @@ fn main() {
     let mostly_monotone = mems.windows(2).filter(|w| w[1] >= w[0]).count() >= mems.len() - 2;
     println!(
         "\nmemory vs timeout {:?} → {}",
-        mems.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>(),
-        if mostly_monotone { "rises with timeout (paper shape ✓)" } else { "NOT monotone (check scale)" }
+        mems.iter()
+            .map(|m| (m * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        if mostly_monotone {
+            "rises with timeout (paper shape ✓)"
+        } else {
+            "NOT monotone (check scale)"
+        }
     );
     emit(&report, "fig13_tcp_footprint");
 }

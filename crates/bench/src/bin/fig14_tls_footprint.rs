@@ -35,18 +35,30 @@ fn main() {
     let mut cases: Vec<(String, SimRunResult, f64)> = Vec::new();
     for t in timeouts {
         let (r, dur) = run_case(true, t, scale);
-        assert!(r.answer_rate() > 0.98, "timeout {t}: rate {}", r.answer_rate());
+        assert!(
+            r.answer_rate() > 0.98,
+            "timeout {t}: rate {}",
+            r.answer_rate()
+        );
         cases.push((format!("all-TLS {t}s"), r, dur));
     }
 
     let summary = report.section(
         format!("steady-state means (LDP_SCALE={scale})"),
-        &["case", "memory_gb", "established", "time_wait", "tls_handshakes"],
+        &[
+            "case",
+            "memory_gb",
+            "established",
+            "time_wait",
+            "tls_handshakes",
+        ],
     );
     for (label, r, dur) in &cases {
         let from = dur * 0.4;
         let mem = r.steady_state(from, |s| s.memory_gb).unwrap_or(0.0);
-        let est = r.steady_state(from, |s| s.established as f64).unwrap_or(0.0);
+        let est = r
+            .steady_state(from, |s| s.established as f64)
+            .unwrap_or(0.0);
         let tw = r.steady_state(from, |s| s.time_wait as f64).unwrap_or(0.0);
         println!("{label:<16} mem {mem:6.2} GB  established {est:8.0}  TIME_WAIT {tw:8.0}");
         summary.row(vec![

@@ -75,7 +75,10 @@ fn main() {
                 let mut v: Vec<u64> = counts.values().copied().collect();
                 v.sort_unstable();
                 let idx = ((v.len() as f64) * 0.98) as usize;
-                v.get(idx.min(v.len().saturating_sub(1))).copied().unwrap_or(250).max(2)
+                v.get(idx.min(v.len().saturating_sub(1)))
+                    .copied()
+                    .unwrap_or(250)
+                    .max(2)
             };
             if let Some(s) = Summary::compute(&non_busy_latencies_ms(&result.outcomes, threshold)) {
                 nonbusy_rows.push(vec![
@@ -100,8 +103,7 @@ fn main() {
                 sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaNs"));
                 let total: f64 = sorted.iter().sum();
                 let top1: f64 = sorted.iter().take((sorted.len() / 100).max(1)).sum();
-                let quiet =
-                    loads.iter().filter(|&&c| c < 10.0).count() as f64 / loads.len() as f64;
+                let quiet = loads.iter().filter(|&&c| c < 10.0).count() as f64 / loads.len() as f64;
                 println!(
                     "(c) top-1% clients carry {:.0}% of load (paper ~75%); {:.0}% of clients send <10 queries (paper ~81%)",
                     top1 / total * 100.0,
@@ -122,7 +124,10 @@ fn main() {
     for row in nonbusy_rows {
         b.row(row);
     }
-    let c = report.section("(c) per-client query-load CDF", &["queries_per_client", "cdf"]);
+    let c = report.section(
+        "(c) per-client query-load CDF",
+        &["queries_per_client", "cdf"],
+    );
     for row in load_cdf_rows {
         c.row(row);
     }

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ldp_server::auth::AuthEngine;
-use ldp_trace::{capture, stream, text, Mutation, QueryMutator, Protocol, TraceRecord, TraceStats};
+use ldp_trace::{capture, stream, text, Mutation, Protocol, QueryMutator, TraceRecord, TraceStats};
 use ldp_workload::{BRootConfig, RecConfig, SyntheticConfig};
 use ldp_zone::ZoneSet;
 
@@ -94,9 +94,7 @@ impl Flags {
                 if bool_flags.contains(&name) {
                     flags.push((name.to_string(), None));
                 } else if value_flags.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     flags.push((name.to_string(), Some(v.clone())));
                 } else {
                     return Err(format!("unknown flag --{name}"));
@@ -204,7 +202,9 @@ fn write_trace(path: &Path, records: &[TraceRecord]) -> Result<(), String> {
             w.finish().map_err(|e| e.to_string())?;
         }
         Format::Text => text::write_text(&mut writer, records).map_err(|e| e.to_string())?,
-        Format::Pcap => ldp_trace::pcap::write_pcap(&mut writer, records).map_err(|e| e.to_string())?,
+        Format::Pcap => {
+            ldp_trace::pcap::write_pcap(&mut writer, records).map_err(|e| e.to_string())?
+        }
     }
     writer.flush().map_err(io_err)
 }
@@ -251,7 +251,13 @@ fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         other => return Err(format!("unknown generator {other:?}")),
     };
     write_trace(&output, &records)?;
-    writeln!(out, "wrote {} records to {}", records.len(), output.display()).map_err(io_err)?;
+    writeln!(
+        out,
+        "wrote {} records to {}",
+        records.len(),
+        output.display()
+    )
+    .map_err(io_err)?;
     Ok(0)
 }
 
@@ -314,7 +320,13 @@ fn cmd_mutate(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     }
     mutator.apply_all(&mut records);
     write_trace(&output, &records)?;
-    writeln!(out, "mutated {} records -> {}", records.len(), output.display()).map_err(io_err)?;
+    writeln!(
+        out,
+        "mutated {} records -> {}",
+        records.len(),
+        output.display()
+    )
+    .map_err(io_err)?;
     Ok(0)
 }
 
@@ -335,8 +347,13 @@ fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         writeln!(
             out,
             "{:<24} {:>10.2} {:>14.6} {:>14.6} {:>10} {:>10} {:>12.1}",
-            path, s.duration_s, s.interarrival_mean_s, s.interarrival_stddev_s,
-            s.client_ips, s.records, s.mean_rate_qps
+            path,
+            s.duration_s,
+            s.interarrival_mean_s,
+            s.interarrival_stddev_s,
+            s.client_ips,
+            s.records,
+            s.mean_rate_qps
         )
         .map_err(io_err)?;
     }
@@ -418,8 +435,12 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         .parse()
         .map_err(|_| "--listen: bad address")?;
     let zones = load_zone_dir(&dir)?;
-    writeln!(out, "serving {} zones on {listen} (udp+tcp); ctrl-c to stop", zones.len())
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "serving {} zones on {listen} (udp+tcp); ctrl-c to stop",
+        zones.len()
+    )
+    .map_err(io_err)?;
     let engine = Arc::new(AuthEngine::with_zones(Arc::new(zones)));
     let rt = tokio::runtime::Runtime::new().map_err(io_err)?;
     rt.block_on(async move {
@@ -457,8 +478,7 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
             return Err("--stream requires a .ldps input".into());
         }
         let file = File::open(path).map_err(|e| format!("open {input}: {e}"))?;
-        let reader = stream::StreamReader::new(BufReader::new(file))
-            .map_err(|e| e.to_string())?;
+        let reader = stream::StreamReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
         rt.block_on(replay.run_stream(reader))
             .map_err(|e| format!("replay: {e}"))?
     } else {
@@ -533,30 +553,48 @@ mod tests {
         let ldps = dir.join("t.ldps");
 
         let msg = run_ok(&[
-            "generate", "broot", "--duration", "2", "--rate", "200", "--clients", "50",
-            "--seed", "7", "-o", cap.to_str().unwrap(),
+            "generate",
+            "broot",
+            "--duration",
+            "2",
+            "--rate",
+            "200",
+            "--clients",
+            "50",
+            "--seed",
+            "7",
+            "-o",
+            cap.to_str().unwrap(),
         ]);
         assert!(msg.contains("wrote"));
 
         let stats = run_ok(&["stats", cap.to_str().unwrap()]);
         assert!(stats.contains("rate_qps"));
 
-        run_ok(&["convert", cap.to_str().unwrap(), "-o", txt.to_str().unwrap()]);
+        run_ok(&[
+            "convert",
+            cap.to_str().unwrap(),
+            "-o",
+            txt.to_str().unwrap(),
+        ]);
         let text_content = std::fs::read_to_string(&txt).unwrap();
         assert!(text_content.contains(" udp "));
 
         run_ok(&[
-            "mutate", cap.to_str().unwrap(), "--all-tcp", "--do", "1.0",
-            "--prefix", "t1", "-o", ldps.to_str().unwrap(),
+            "mutate",
+            cap.to_str().unwrap(),
+            "--all-tcp",
+            "--do",
+            "1.0",
+            "--prefix",
+            "t1",
+            "-o",
+            ldps.to_str().unwrap(),
         ]);
         let mutated = read_trace(&ldps).unwrap();
         assert!(mutated.iter().all(|r| r.protocol == Protocol::Tcp));
         assert!(mutated.iter().all(|r| r.dnssec_ok()));
-        assert!(mutated[0]
-            .qname()
-            .unwrap()
-            .to_string()
-            .starts_with("t1."));
+        assert!(mutated[0].qname().unwrap().to_string().starts_with("t1."));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -565,7 +603,13 @@ mod tests {
         let dir = tmpdir("syn");
         let out_file = dir.join("syn.ldps");
         run_ok(&[
-            "generate", "syn", "--level", "1", "--duration", "3", "-o",
+            "generate",
+            "syn",
+            "--level",
+            "1",
+            "--duration",
+            "3",
+            "-o",
             out_file.to_str().unwrap(),
         ]);
         let records = read_trace(&out_file).unwrap();
@@ -603,7 +647,10 @@ mod tests {
 
         let zones_dir = dir.join("zones");
         let msg = run_ok(&[
-            "zonegen", cap.to_str().unwrap(), "-o", zones_dir.to_str().unwrap(),
+            "zonegen",
+            cap.to_str().unwrap(),
+            "-o",
+            zones_dir.to_str().unwrap(),
         ]);
         assert!(msg.contains("zones"));
         assert!(zones_dir.join("root.zone").exists());
@@ -622,7 +669,13 @@ mod tests {
         let dir = tmpdir("replay");
         let trace_file = dir.join("r.ldps");
         run_ok(&[
-            "generate", "syn", "--level", "2", "--duration", "2", "-o",
+            "generate",
+            "syn",
+            "--level",
+            "2",
+            "--duration",
+            "2",
+            "-o",
             trace_file.to_str().unwrap(),
         ]);
 
@@ -648,7 +701,11 @@ mod tests {
         });
 
         let msg = run_ok(&[
-            "replay", trace_file.to_str().unwrap(), "--server", &addr, "--fast",
+            "replay",
+            trace_file.to_str().unwrap(),
+            "--server",
+            &addr,
+            "--fast",
         ]);
         assert!(msg.contains("sent 200 queries"), "{msg}");
         assert!(msg.contains("latency"), "{msg}");
@@ -665,7 +722,12 @@ mod tests {
             .unwrap_err()
             .contains("--server"));
         assert!(run(
-            &["generate".into(), "broot".into(), "--bogus".into(), "1".into()],
+            &[
+                "generate".into(),
+                "broot".into(),
+                "--bogus".into(),
+                "1".into()
+            ],
             &mut out
         )
         .unwrap_err()
@@ -688,11 +750,31 @@ mod tests {
         let pcap = dir.join("t.pcap");
         let back = dir.join("b.ldps");
         run_ok(&[
-            "generate", "broot", "--duration", "1", "--rate", "100", "--clients", "20",
-            "--tcp", "0", "-o", ldpc.to_str().unwrap(),
+            "generate",
+            "broot",
+            "--duration",
+            "1",
+            "--rate",
+            "100",
+            "--clients",
+            "20",
+            "--tcp",
+            "0",
+            "-o",
+            ldpc.to_str().unwrap(),
         ]);
-        run_ok(&["convert", ldpc.to_str().unwrap(), "-o", pcap.to_str().unwrap()]);
-        let msg = run_ok(&["convert", pcap.to_str().unwrap(), "-o", back.to_str().unwrap()]);
+        run_ok(&[
+            "convert",
+            ldpc.to_str().unwrap(),
+            "-o",
+            pcap.to_str().unwrap(),
+        ]);
+        let msg = run_ok(&[
+            "convert",
+            pcap.to_str().unwrap(),
+            "-o",
+            back.to_str().unwrap(),
+        ]);
         assert!(msg.contains("converted"));
         let a = read_trace(&ldpc).unwrap();
         let b = read_trace(&back).unwrap();

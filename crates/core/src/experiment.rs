@@ -236,7 +236,10 @@ impl SimRunResult {
 
     /// All latencies in milliseconds.
     pub fn latencies_ms(&self) -> Vec<f64> {
-        self.outcomes.iter().filter_map(|o| o.latency_ms()).collect()
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.latency_ms())
+            .collect()
     }
 
     /// Server memory at the end of the run (GB).
@@ -300,7 +303,11 @@ mod tests {
         let result = SimExperiment::root_server(small_trace(Some(Protocol::Udp)))
             .rtt_ms(10)
             .run();
-        assert!(result.answer_rate() > 0.999, "rate {}", result.answer_rate());
+        assert!(
+            result.answer_rate() > 0.999,
+            "rate {}",
+            result.answer_rate()
+        );
         assert!(result.final_memory_gb() < 2.1, "UDP stays at baseline");
         assert!(!result.samples.is_empty());
         assert_eq!(result.dropped_packets, 0);
@@ -341,7 +348,9 @@ mod tests {
 
     #[test]
     fn mixed_trace_runs() {
-        let result = SimExperiment::root_server(small_trace(None)).rtt_ms(20).run();
+        let result = SimExperiment::root_server(small_trace(None))
+            .rtt_ms(20)
+            .run();
         assert!(result.answer_rate() > 0.99, "rate {}", result.answer_rate());
     }
 

@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn initial_is_padded_to_1200() {
-        assert_eq!(encode(&QuicFrame::Initial { conn_id: 1 }).len(), INITIAL_SIZE);
+        assert_eq!(
+            encode(&QuicFrame::Initial { conn_id: 1 }).len(),
+            INITIAL_SIZE
+        );
     }
 
     #[test]
@@ -234,6 +237,8 @@ mod tests {
         assert_eq!(s.idle_closed, 1);
         // Touching keeps the survivor alive.
         s.touch(2, SimTime::from_secs(30));
-        assert!(s.expire_idle(SimTime::from_secs(40), SimDuration::from_secs(20)).is_empty());
+        assert!(s
+            .expire_idle(SimTime::from_secs(40), SimDuration::from_secs(20))
+            .is_empty());
     }
 }

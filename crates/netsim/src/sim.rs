@@ -236,7 +236,11 @@ impl Sim {
         // Serialization: the egress link transmits packets back-to-back.
         let rate = self.bandwidth.get(&from).copied().unwrap_or(0);
         let ser = SimDuration::serialization(packet.wire_size(), rate);
-        let free = self.egress_free.get(&from).copied().unwrap_or(SimTime::ZERO);
+        let free = self
+            .egress_free
+            .get(&from)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let start = free.max(self.clock);
         let done = start + ser;
         self.egress_free.insert(from, done);
@@ -286,9 +290,7 @@ impl Sim {
                     self.dispatch_with(node, |n, ctx| n.on_event(ctx, NodeEvent::Packet(packet)));
                 }
                 QueuedKind::Timer(node, token) => {
-                    self.dispatch_with(node, |n, ctx| {
-                        n.on_event(ctx, NodeEvent::Timer { token })
-                    });
+                    self.dispatch_with(node, |n, ctx| n.on_event(ctx, NodeEvent::Timer { token }));
                 }
             }
         }

@@ -154,8 +154,14 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(1500));
         assert_eq!(t - SimTime::from_secs(1), SimDuration::from_millis(500));
         // Saturating subtraction of a later time.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), SimDuration::ZERO);
-        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(2),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            t.since(SimTime::from_secs(1)),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -169,7 +175,10 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(SimDuration::from_secs(1).mul_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs(1).mul_f64(0.0), SimDuration::ZERO);
     }
 

@@ -289,7 +289,10 @@ mod tests {
         let TlsOutput::SendBytes(wire) = &outs[0] else {
             panic!("expected bytes");
         };
-        assert!(wire.len() > 7 + RECORD_OVERHEAD - 5, "record overhead charged");
+        assert!(
+            wire.len() > 7 + RECORD_OVERHEAD - 5,
+            "record overhead charged"
+        );
         let got = server.on_bytes(wire);
         assert_eq!(got.len(), 1);
         match &got[0] {

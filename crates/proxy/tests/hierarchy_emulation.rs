@@ -36,27 +36,105 @@ const STUB: &str = "10.0.0.1";
 /// four zones, one server.
 fn meta_views() -> ViewTable {
     let mut root = Zone::with_fake_soa(Name::root());
-    root.add(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net")))).unwrap();
-    root.add(Record::new(n("a.root-servers.net"), 518400, RData::A(ROOT_NS.parse().unwrap()))).unwrap();
-    root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-    root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A(COM_NS.parse().unwrap()))).unwrap();
-    root.add(Record::new(n("org"), 172800, RData::Ns(n("a0.org.afilias-nst.info")))).unwrap();
-    root.add(Record::new(n("a0.org.afilias-nst.info"), 172800, RData::A(ORG_NS.parse().unwrap()))).unwrap();
+    root.add(Record::new(
+        Name::root(),
+        518400,
+        RData::Ns(n("a.root-servers.net")),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("a.root-servers.net"),
+        518400,
+        RData::A(ROOT_NS.parse().unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("com"),
+        172800,
+        RData::Ns(n("a.gtld-servers.net")),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("a.gtld-servers.net"),
+        172800,
+        RData::A(COM_NS.parse().unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("org"),
+        172800,
+        RData::Ns(n("a0.org.afilias-nst.info")),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("a0.org.afilias-nst.info"),
+        172800,
+        RData::A(ORG_NS.parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut com = Zone::with_fake_soa(n("com"));
-    com.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-    com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-    com.add(Record::new(n("ns1.example.com"), 172800, RData::A(SLD_NS.parse().unwrap()))).unwrap();
+    com.add(Record::new(
+        n("com"),
+        172800,
+        RData::Ns(n("a.gtld-servers.net")),
+    ))
+    .unwrap();
+    com.add(Record::new(
+        n("example.com"),
+        172800,
+        RData::Ns(n("ns1.example.com")),
+    ))
+    .unwrap();
+    com.add(Record::new(
+        n("ns1.example.com"),
+        172800,
+        RData::A(SLD_NS.parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut sld = Zone::with_fake_soa(n("example.com"));
-    sld.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
-    sld.add(Record::new(n("ns1.example.com"), 3600, RData::A(SLD_NS.parse().unwrap()))).unwrap();
-    sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
-    sld.add(Record::new(n("mail.example.com"), 300, RData::Mx { preference: 10, exchange: n("mx.example.com") })).unwrap();
-    sld.add(Record::new(n("mx.example.com"), 300, RData::A("192.0.2.25".parse().unwrap()))).unwrap();
+    sld.add(Record::new(
+        n("example.com"),
+        3600,
+        RData::Ns(n("ns1.example.com")),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("ns1.example.com"),
+        3600,
+        RData::A(SLD_NS.parse().unwrap()),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("www.example.com"),
+        300,
+        RData::A("192.0.2.80".parse().unwrap()),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("mail.example.com"),
+        300,
+        RData::Mx {
+            preference: 10,
+            exchange: n("mx.example.com"),
+        },
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("mx.example.com"),
+        300,
+        RData::A("192.0.2.25".parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut org = Zone::with_fake_soa(n("org"));
-    org.add(Record::new(n("org"), 172800, RData::Ns(n("a0.org.afilias-nst.info")))).unwrap();
+    org.add(Record::new(
+        n("org"),
+        172800,
+        RData::Ns(n("a0.org.afilias-nst.info")),
+    ))
+    .unwrap();
 
     ViewTable::from_nameserver_map(vec![
         (ip(ROOT_NS), root),
@@ -159,7 +237,10 @@ fn full_recursive_resolution_through_one_server() {
     assert_eq!(resp.header.rcode, Rcode::NoError);
     assert_eq!(resp.header.id, 77);
     assert_eq!(resp.answers.len(), 1);
-    assert_eq!(resp.answers[0].rdata, RData::A("192.0.2.80".parse().unwrap()));
+    assert_eq!(
+        resp.answers[0].rdata,
+        RData::A("192.0.2.80".parse().unwrap())
+    );
 
     // The resolver walked all three levels...
     let rec: &RecursiveNode = world.sim.node_as(world.rec).unwrap();

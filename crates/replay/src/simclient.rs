@@ -252,7 +252,10 @@ impl SimQuerier {
                 conn.established = true;
                 let queued = std::mem::take(&mut conn.queued);
                 for framed in queued {
-                    let frame = quic::encode(&QuicFrame::App { conn_id, data: framed });
+                    let frame = quic::encode(&QuicFrame::App {
+                        conn_id,
+                        data: framed,
+                    });
                     ctx.send(Packet::udp(
                         SocketAddr::new(self.addr, self.quic_port),
                         SocketAddr::new(self.server, DNS_TLS_PORT),
@@ -428,7 +431,9 @@ impl SimQuerier {
         let mut msg = rec.message.clone();
         msg.header.id = id;
         let Ok(wire) = msg.to_bytes() else { return };
-        let Ok(framed) = frame_message(&wire) else { return };
+        let Ok(framed) = frame_message(&wire) else {
+            return;
+        };
         self.pending_stream.insert((src, id), outcome_idx);
         self.send_stream(ctx, src, Protocol::Tcp, framed);
     }
@@ -537,8 +542,8 @@ mod tests {
     use ldp_server::auth::AuthEngine;
     use ldp_server::resource::ResourceModel;
     use ldp_server::sim::AuthServerNode;
-    use ldp_workload::zones::wildcard_example_zone;
     use ldp_wire::{Name, RrType};
+    use ldp_workload::zones::wildcard_example_zone;
     use ldp_zone::ZoneSet;
     use std::sync::Arc;
 
@@ -553,7 +558,9 @@ mod tests {
             .map(|i| {
                 let mut rec = TraceRecord::udp_query(
                     1000 + i * gap_us,
-                    format!("10.9.0.{}", 1 + (i as u32 % sources)).parse().unwrap(),
+                    format!("10.9.0.{}", 1 + (i as u32 % sources))
+                        .parse()
+                        .unwrap(),
                     (2000 + i) as u16,
                     Name::parse(&format!("q{i}.example.com")).unwrap(),
                     RrType::A,
@@ -612,7 +619,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(5));
         let querier: &SimQuerier = sim.node_as(q).unwrap();
         assert!((querier.answer_rate() - 1.0).abs() < 1e-9);
-        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        let lat: Vec<f64> = querier
+            .outcomes
+            .iter()
+            .map(|o| o.latency_ms().unwrap())
+            .collect();
         assert_eq!(lat[0], 80.0, "fresh connection: 2 RTT");
         for &l in &lat[1..] {
             assert_eq!(l, 40.0, "reused connection: 1 RTT");
@@ -632,8 +643,16 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(5));
         let querier: &SimQuerier = sim.node_as(q).unwrap();
-        assert!((querier.answer_rate() - 1.0).abs() < 1e-9, "rate {}", querier.answer_rate());
-        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert!(
+            (querier.answer_rate() - 1.0).abs() < 1e-9,
+            "rate {}",
+            querier.answer_rate()
+        );
+        let lat: Vec<f64> = querier
+            .outcomes
+            .iter()
+            .map(|o| o.latency_ms().unwrap())
+            .collect();
         assert_eq!(lat[0], 160.0, "TCP(1) + TLS(2) + query(1) = 4 RTT");
         for &l in &lat[1..] {
             assert_eq!(l, 40.0, "established session: 1 RTT");
@@ -654,8 +673,16 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(5));
         let querier: &SimQuerier = sim.node_as(q).unwrap();
-        assert!((querier.answer_rate() - 1.0).abs() < 1e-9, "rate {}", querier.answer_rate());
-        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        assert!(
+            (querier.answer_rate() - 1.0).abs() < 1e-9,
+            "rate {}",
+            querier.answer_rate()
+        );
+        let lat: Vec<f64> = querier
+            .outcomes
+            .iter()
+            .map(|o| o.latency_ms().unwrap())
+            .collect();
         assert_eq!(lat[0], 80.0, "fresh QUIC session: 2 RTT");
         for &l in &lat[1..] {
             assert_eq!(l, 40.0, "established session: 1 RTT");
@@ -674,14 +701,11 @@ mod tests {
         // Two queries 30 s apart with a 20 s idle timeout: the session is
         // swept, the client learns via Close, and the second query pays
         // the handshake again — but leaves no TIME_WAIT residue.
-        let records = vec![
-            trace(1, 0, Protocol::Quic, 1).remove(0),
-            {
-                let mut r = trace(1, 0, Protocol::Quic, 1).remove(0);
-                r.time_us = 30_000_000;
-                r
-            },
-        ];
+        let records = vec![trace(1, 0, Protocol::Quic, 1).remove(0), {
+            let mut r = trace(1, 0, Protocol::Quic, 1).remove(0);
+            r.time_us = 30_000_000;
+            r
+        }];
         let server_tcp = TcpConfig {
             idle_timeout: Some(SimDuration::from_secs(20)),
             ..TcpConfig::default()
@@ -689,7 +713,11 @@ mod tests {
         let (mut sim, q, s) = world(records, server_tcp, 40);
         sim.run_until(SimTime::from_secs(120));
         let querier: &SimQuerier = sim.node_as(q).unwrap();
-        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        let lat: Vec<f64> = querier
+            .outcomes
+            .iter()
+            .map(|o| o.latency_ms().unwrap())
+            .collect();
         assert_eq!(lat, vec![80.0, 80.0], "both queries on fresh sessions");
         let server: &AuthServerNode = sim.node_as(s).unwrap();
         assert_eq!(server.usage.quic_handshakes, 2);
@@ -701,14 +729,11 @@ mod tests {
     fn server_idle_timeout_forces_reconnect() {
         // Two queries 30s apart with a 20s server idle timeout: the second
         // query pays the fresh-connection 2 RTT again.
-        let records = vec![
-            trace(1, 0, Protocol::Tcp, 1).remove(0),
-            {
-                let mut r = trace(1, 0, Protocol::Tcp, 1).remove(0);
-                r.time_us = 30_000_000;
-                r
-            },
-        ];
+        let records = vec![trace(1, 0, Protocol::Tcp, 1).remove(0), {
+            let mut r = trace(1, 0, Protocol::Tcp, 1).remove(0);
+            r.time_us = 30_000_000;
+            r
+        }];
         let server_tcp = TcpConfig {
             idle_timeout: Some(SimDuration::from_secs(20)),
             ..TcpConfig::default()
@@ -716,7 +741,11 @@ mod tests {
         let (mut sim, q, s) = world(records, server_tcp, 40);
         sim.run_until(SimTime::from_secs(120));
         let querier: &SimQuerier = sim.node_as(q).unwrap();
-        let lat: Vec<f64> = querier.outcomes.iter().map(|o| o.latency_ms().unwrap()).collect();
+        let lat: Vec<f64> = querier
+            .outcomes
+            .iter()
+            .map(|o| o.latency_ms().unwrap())
+            .collect();
         assert_eq!(lat, vec![80.0, 80.0], "both queries on fresh connections");
         let server: &AuthServerNode = sim.node_as(s).unwrap();
         assert_eq!(server.usage.tcp_handshakes, 2);
@@ -739,14 +768,17 @@ mod tests {
 
     #[test]
     fn truncated_udp_retries_over_tcp() {
-        use ldp_zone::dnssec::SigningConfig;
         use ldp_wire::Edns;
+        use ldp_zone::dnssec::SigningConfig;
         // The signed root's apex DNSKEY answer (two keys + signature)
         // exceeds 512 bytes; a query with a small advertised payload gets
         // TC over UDP and must fall back to TCP, paying the extra round
         // trips but ultimately answering.
         let mut zones = ZoneSet::new();
-        zones.insert(ldp_workload::zones::signed_root_zone(5, SigningConfig::zsk2048()));
+        zones.insert(ldp_workload::zones::signed_root_zone(
+            5,
+            SigningConfig::zsk2048(),
+        ));
         let engine = Arc::new(AuthEngine::with_zones(Arc::new(zones)));
 
         let mut rec = TraceRecord::udp_query(

@@ -159,15 +159,40 @@ mod tests {
 
     fn hierarchy_views() -> ViewTable {
         let mut root = Zone::with_fake_soa(Name::root());
-        root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+        root.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        root.add(Record::new(
+            n("a.gtld-servers.net"),
+            172800,
+            RData::A("192.5.6.30".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut com = Zone::with_fake_soa(n("com"));
-        com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-        com.add(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+        com.add(Record::new(
+            n("example.com"),
+            172800,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        com.add(Record::new(
+            n("ns1.example.com"),
+            172800,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut sld = Zone::with_fake_soa(n("example.com"));
-        sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        sld.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
 
         ViewTable::from_nameserver_map(vec![
             (ip("198.41.0.4"), root),
@@ -212,7 +237,12 @@ mod tests {
     fn shared_zones_mode() {
         let mut set = ZoneSet::new();
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
         set.insert(z);
         let engine = AuthEngine::with_zones(Arc::new(set));
         let q = Message::query(9, n("www.example.com"), RrType::A);
@@ -225,15 +255,28 @@ mod tests {
     fn nxdomain_and_nodata() {
         let mut set = ZoneSet::new();
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
         set.insert(z);
         let engine = AuthEngine::with_zones(Arc::new(set));
 
-        let r = engine.respond(ip("10.0.0.1"), &Message::query(1, n("nope.example.com"), RrType::A), false);
+        let r = engine.respond(
+            ip("10.0.0.1"),
+            &Message::query(1, n("nope.example.com"), RrType::A),
+            false,
+        );
         assert_eq!(r.header.rcode, Rcode::NxDomain);
         assert_eq!(r.authorities.len(), 1, "SOA in authority");
 
-        let r = engine.respond(ip("10.0.0.1"), &Message::query(1, n("www.example.com"), RrType::Mx), false);
+        let r = engine.respond(
+            ip("10.0.0.1"),
+            &Message::query(1, n("www.example.com"), RrType::Mx),
+            false,
+        );
         assert_eq!(r.header.rcode, Rcode::NoError);
         assert!(r.answers.is_empty());
         assert_eq!(r.authorities.len(), 1);
@@ -244,7 +287,11 @@ mod tests {
         let mut set = ZoneSet::new();
         set.insert(Zone::with_fake_soa(n("example.com")));
         let engine = AuthEngine::with_zones(Arc::new(set));
-        let r = engine.respond(ip("10.0.0.1"), &Message::query(1, n("example.net"), RrType::A), false);
+        let r = engine.respond(
+            ip("10.0.0.1"),
+            &Message::query(1, n("example.net"), RrType::A),
+            false,
+        );
         assert_eq!(r.header.rcode, Rcode::Refused);
     }
 
@@ -258,7 +305,8 @@ mod tests {
                 n("fat.big.test"),
                 60,
                 RData::Txt(vec![vec![b'a' + (i % 26) as u8; 200], vec![i as u8; 50]]),
-            )).unwrap();
+            ))
+            .unwrap();
         }
         set.insert(z);
         let engine = AuthEngine::with_zones(Arc::new(set));
@@ -307,12 +355,23 @@ mod tests {
     fn do_bit_grows_signed_response() {
         use ldp_zone::dnssec::{sign_zone, SigningConfig};
         let mut root = Zone::with_fake_soa(Name::root());
-        root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
+        root.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
         root.add(Record::new(
             n("com"),
             86400,
-            RData::Ds { key_tag: 1, algorithm: 8, digest_type: 2, digest: vec![7; 32] },
-        )).unwrap();
+            RData::Ds {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![7; 32],
+            },
+        ))
+        .unwrap();
         sign_zone(&mut root, SigningConfig::zsk2048());
         let mut set = ZoneSet::new();
         set.insert(root);

@@ -13,7 +13,10 @@ use ldp_wire::{Name, Record, RrType};
 /// A cached entry: records plus their absolute expiry.
 #[derive(Debug, Clone)]
 enum Entry {
-    Positive { records: Vec<Record>, expires_us: u64 },
+    Positive {
+        records: Vec<Record>,
+        expires_us: u64,
+    },
     /// NXDOMAIN/NODATA cached per RFC 2308 using the SOA minimum.
     Negative { expires_us: u64 },
 }
@@ -42,7 +45,10 @@ impl Cache {
     /// Looks up (name, type) at time `now_us`.
     pub fn get(&mut self, name: &Name, rtype: RrType, now_us: u64) -> CacheOutcome {
         match self.entries.get(&(name.clone(), rtype)) {
-            Some(Entry::Positive { records, expires_us }) if *expires_us > now_us => {
+            Some(Entry::Positive {
+                records,
+                expires_us,
+            }) if *expires_us > now_us => {
                 self.hits += 1;
                 CacheOutcome::Hit(records.clone())
             }
@@ -126,7 +132,10 @@ mod tests {
         let mut c = Cache::new();
         assert_eq!(c.get(&n("x.test"), RrType::A, 0), CacheOutcome::Miss);
         c.put(n("x.test"), RrType::A, vec![a_rec("x.test", 30)], 0);
-        assert!(matches!(c.get(&n("x.test"), RrType::A, 29 * SEC), CacheOutcome::Hit(_)));
+        assert!(matches!(
+            c.get(&n("x.test"), RrType::A, 29 * SEC),
+            CacheOutcome::Hit(_)
+        ));
         assert_eq!(c.get(&n("x.test"), RrType::A, 30 * SEC), CacheOutcome::Miss);
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 2);
@@ -141,7 +150,10 @@ mod tests {
             vec![a_rec("x.test", 300), a_rec("x.test", 10)],
             0,
         );
-        assert!(matches!(c.get(&n("x.test"), RrType::A, 9 * SEC), CacheOutcome::Hit(_)));
+        assert!(matches!(
+            c.get(&n("x.test"), RrType::A, 9 * SEC),
+            CacheOutcome::Hit(_)
+        ));
         assert_eq!(c.get(&n("x.test"), RrType::A, 11 * SEC), CacheOutcome::Miss);
     }
 
@@ -153,7 +165,10 @@ mod tests {
             c.get(&n("nope.test"), RrType::A, 59 * SEC),
             CacheOutcome::NegativeHit
         );
-        assert_eq!(c.get(&n("nope.test"), RrType::A, 61 * SEC), CacheOutcome::Miss);
+        assert_eq!(
+            c.get(&n("nope.test"), RrType::A, 61 * SEC),
+            CacheOutcome::Miss
+        );
     }
 
     #[test]
@@ -185,6 +200,9 @@ mod tests {
     fn case_insensitive_keys() {
         let mut c = Cache::new();
         c.put(n("X.Test"), RrType::A, vec![a_rec("x.test", 60)], 0);
-        assert!(matches!(c.get(&n("x.TEST"), RrType::A, 0), CacheOutcome::Hit(_)));
+        assert!(matches!(
+            c.get(&n("x.TEST"), RrType::A, 0),
+            CacheOutcome::Hit(_)
+        ));
     }
 }

@@ -144,8 +144,18 @@ mod tests {
 
     fn engine() -> Arc<AuthEngine> {
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
-        z.add(Record::new(n("*.wild.example.com"), 60, RData::A("192.0.2.99".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("*.wild.example.com"),
+            60,
+            RData::A("192.0.2.99".parse().unwrap()),
+        ))
+        .unwrap();
         let mut set = ZoneSet::new();
         set.insert(z);
         Arc::new(AuthEngine::with_zones(Arc::new(set)))
@@ -158,7 +168,10 @@ mod tests {
             .unwrap();
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         let q = Message::query(42, n("www.example.com"), RrType::A);
-        client.send_to(&q.to_bytes().unwrap(), server.addr).await.unwrap();
+        client
+            .send_to(&q.to_bytes().unwrap(), server.addr)
+            .await
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         let (len, _) = client.recv_from(&mut buf).await.unwrap();
         let resp = Message::from_bytes(&buf[..len]).unwrap();
@@ -202,7 +215,10 @@ mod tests {
         client.send_to(&[1, 2, 3], server.addr).await.unwrap();
         // Then a valid query still gets served.
         let q = Message::query(1, n("www.example.com"), RrType::A);
-        client.send_to(&q.to_bytes().unwrap(), server.addr).await.unwrap();
+        client
+            .send_to(&q.to_bytes().unwrap(), server.addr)
+            .await
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         let (len, _) = client.recv_from(&mut buf).await.unwrap();
         assert!(Message::from_bytes(&buf[..len]).is_ok());

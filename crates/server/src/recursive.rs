@@ -426,18 +426,58 @@ mod tests {
 
     fn hierarchy_engine() -> AuthEngine {
         let mut root = Zone::with_fake_soa(Name::root());
-        root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+        root.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        root.add(Record::new(
+            n("a.gtld-servers.net"),
+            172800,
+            RData::A("192.5.6.30".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut com = Zone::with_fake_soa(n("com"));
-        com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-        com.add(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+        com.add(Record::new(
+            n("example.com"),
+            172800,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        com.add(Record::new(
+            n("ns1.example.com"),
+            172800,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut sld = Zone::with_fake_soa(n("example.com"));
-        sld.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
-        sld.add(Record::new(n("ns1.example.com"), 3600, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
-        sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
-        sld.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com")))).unwrap();
+        sld.add(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        sld.add(Record::new(
+            n("ns1.example.com"),
+            3600,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
+        sld.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
+        sld.add(Record::new(
+            n("alias.example.com"),
+            300,
+            RData::Cname(n("www.example.com")),
+        ))
+        .unwrap();
 
         AuthEngine::with_views(ViewTable::from_nameserver_map(vec![
             (ip("198.41.0.4"), root),
@@ -461,7 +501,10 @@ mod tests {
         assert_eq!(resp.header.id, 7);
         assert!(resp.header.recursion_available);
         assert_eq!(resp.answers.len(), 1);
-        assert_eq!(resp.answers[0].rdata, RData::A("192.0.2.80".parse().unwrap()));
+        assert_eq!(
+            resp.answers[0].rdata,
+            RData::A("192.0.2.80".parse().unwrap())
+        );
         assert_eq!(r.upstream_queries, 3);
     }
 
@@ -507,7 +550,11 @@ mod tests {
     fn unsolicited_response_ignored() {
         let mut r = resolver();
         let engine = hierarchy_engine();
-        let stray = engine.respond(ip("198.41.0.4"), &Message::query(999, n("com"), RrType::Ns), false);
+        let stray = engine.respond(
+            ip("198.41.0.4"),
+            &Message::query(999, n("com"), RrType::Ns),
+            false,
+        );
         assert!(r.on_upstream_response(&stray, 0).is_empty());
     }
 
@@ -540,8 +587,18 @@ mod tests {
     fn depth_limit_enforced() {
         // A zone that refers forever to itself.
         let mut evil = Zone::with_fake_soa(Name::root());
-        evil.add(Record::new(n("loop.test"), 60, RData::Ns(n("ns.loop.test")))).unwrap();
-        evil.add(Record::new(n("ns.loop.test"), 60, RData::A("198.41.0.4".parse().unwrap()))).unwrap();
+        evil.add(Record::new(
+            n("loop.test"),
+            60,
+            RData::Ns(n("ns.loop.test")),
+        ))
+        .unwrap();
+        evil.add(Record::new(
+            n("ns.loop.test"),
+            60,
+            RData::A("198.41.0.4".parse().unwrap()),
+        ))
+        .unwrap();
         let engine = AuthEngine::with_views(ViewTable::from_nameserver_map(vec![(
             ip("198.41.0.4"),
             evil,

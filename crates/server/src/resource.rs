@@ -268,7 +268,10 @@ mod tests {
         let tcp = m.memory_gb(&snap(60_000, 120_000), &ResourceUsage::default());
         let udp = m.memory_gb(&snap(0, 0), &ResourceUsage::default());
         assert!(quic > udp);
-        assert!(quic < tcp * 0.4, "QUIC {quic} should be well under TCP {tcp}");
+        assert!(
+            quic < tcp * 0.4,
+            "QUIC {quic} should be well under TCP {tcp}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use ldp_netsim::quic::{self, QuicFrame, QuicServerSessions};
 use ldp_netsim::{
-    Ctx, Node, NodeEvent, Packet, Payload, TcpConfig, TcpEvent, TcpStack, TlsEndpoint,
-    TlsOutput, TlsRole, ConnKey, SimDuration, SimTime,
+    ConnKey, Ctx, Node, NodeEvent, Packet, Payload, SimDuration, SimTime, TcpConfig, TcpEvent,
+    TcpStack, TlsEndpoint, TlsOutput, TlsRole,
 };
 use ldp_wire::framing::{frame_message, FrameDecoder};
 use ldp_wire::{Message, DNS_PORT, DNS_TLS_PORT};
@@ -143,7 +143,9 @@ impl AuthServerNode {
                 self.usage.stream_queries += 1;
                 let resp = self.engine.respond(packet.src.ip(), &query, true);
                 let Ok(bytes) = resp.to_bytes() else { return };
-                let Ok(framed) = frame_message(&bytes) else { return };
+                let Ok(framed) = frame_message(&bytes) else {
+                    return;
+                };
                 let reply = quic::encode(&QuicFrame::App {
                     conn_id,
                     data: framed,
@@ -363,11 +365,7 @@ impl RecursiveNode {
             match step {
                 ResolverStep::Respond { to, message } => {
                     if let Ok(bytes) = message.to_bytes() {
-                        ctx.send(Packet::udp(
-                            SocketAddr::new(self.addr, DNS_PORT),
-                            to,
-                            bytes,
-                        ));
+                        ctx.send(Packet::udp(SocketAddr::new(self.addr, DNS_PORT), to, bytes));
                     }
                 }
                 ResolverStep::Ask { server, message } => {
@@ -420,9 +418,9 @@ impl Node for RecursiveNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_netsim::Sim;
     use ldp_wire::{Name, RData, Record, RrType};
     use ldp_zone::{Zone, ZoneSet};
-    use ldp_netsim::Sim;
 
     fn n(s: &str) -> Name {
         Name::parse(s).unwrap()
@@ -430,7 +428,12 @@ mod tests {
 
     fn single_zone_engine() -> Arc<AuthEngine> {
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
         let mut set = ZoneSet::new();
         set.insert(z);
         Arc::new(AuthEngine::with_zones(Arc::new(set)))

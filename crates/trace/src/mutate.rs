@@ -97,7 +97,10 @@ impl QueryMutator {
                     rec.time_us = rec.time_us.saturating_add_signed(*d);
                 }
                 Mutation::SetEdnsPayload(size) => {
-                    rec.message.edns.get_or_insert_with(Edns::default).udp_payload_size = *size;
+                    rec.message
+                        .edns
+                        .get_or_insert_with(Edns::default)
+                        .udp_payload_size = *size;
                 }
                 Mutation::SetRecursionDesired(rd) => {
                     rec.message.header.recursion_desired = *rd;
@@ -201,7 +204,9 @@ mod tests {
     fn clear_do_bit() {
         let mut trace = recs(5);
         all_dnssec(1).apply_all(&mut trace);
-        QueryMutator::new(1).push(Mutation::ClearDoBit).apply_all(&mut trace);
+        QueryMutator::new(1)
+            .push(Mutation::ClearDoBit)
+            .apply_all(&mut trace);
         assert!(trace.iter().all(|r| !r.dnssec_ok()));
     }
 
@@ -234,7 +239,10 @@ mod tests {
         QueryMutator::new(1)
             .push(Mutation::SetEdnsPayload(1232))
             .apply_all(&mut trace);
-        assert_eq!(trace[0].message.edns.as_ref().unwrap().udp_payload_size, 1232);
+        assert_eq!(
+            trace[0].message.edns.as_ref().unwrap().udp_payload_size,
+            1232
+        );
     }
 
     #[test]

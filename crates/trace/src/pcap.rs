@@ -112,7 +112,14 @@ pub fn parse_pcap(bytes: &[u8]) -> Result<(Vec<TraceRecord>, PcapStats), TraceEr
             stats.truncated_captures += 1;
         }
         let time_us = ts_sec * 1_000_000 + if nanos { ts_frac / 1_000 } else { ts_frac };
-        parse_frame(frame, link_skip, linktype, time_us, &mut records, &mut stats);
+        parse_frame(
+            frame,
+            link_skip,
+            linktype,
+            time_us,
+            &mut records,
+            &mut stats,
+        );
     }
     Ok((records, stats))
 }

@@ -156,7 +156,13 @@ mod tests {
     #[test]
     fn udp_query_accessors() {
         let name = Name::parse("example.com").unwrap();
-        let rec = TraceRecord::udp_query(1_500_000, "10.0.0.1".parse().unwrap(), 4444, name.clone(), RrType::A);
+        let rec = TraceRecord::udp_query(
+            1_500_000,
+            "10.0.0.1".parse().unwrap(),
+            4444,
+            name.clone(),
+            RrType::A,
+        );
         assert_eq!(rec.qname().unwrap(), &name);
         assert_eq!(rec.qtype().unwrap(), RrType::A);
         assert!(!rec.dnssec_ok());

@@ -149,7 +149,17 @@ mod tests {
 
     #[test]
     fn variable_gaps_have_stddev() {
-        let recs = vec![rec(0, "a.b.c.d".parse::<std::net::IpAddr>().map(|_| "1.2.3.4").unwrap_or("1.2.3.4")), rec(1000, "1.2.3.4"), rec(3000, "1.2.3.4")];
+        let recs = vec![
+            rec(
+                0,
+                "a.b.c.d"
+                    .parse::<std::net::IpAddr>()
+                    .map(|_| "1.2.3.4")
+                    .unwrap_or("1.2.3.4"),
+            ),
+            rec(1000, "1.2.3.4"),
+            rec(3000, "1.2.3.4"),
+        ];
         let s = TraceStats::compute(&recs);
         assert!((s.interarrival_mean_s - 0.0015).abs() < 1e-9);
         assert!(s.interarrival_stddev_s > 0.0);

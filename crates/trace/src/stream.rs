@@ -86,8 +86,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<TraceRecord, TraceError> {
         return Err(fail("short frame tail"));
     }
     let src_port = u16::from_be_bytes([frame[pos], frame[pos + 1]]);
-    let protocol =
-        Protocol::from_tag(frame[pos + 2]).ok_or_else(|| fail("bad protocol tag"))?;
+    let protocol = Protocol::from_tag(frame[pos + 2]).ok_or_else(|| fail("bad protocol tag"))?;
     let wire_len = u16::from_be_bytes([frame[pos + 3], frame[pos + 4]]) as usize;
     pos += 5;
     if frame.len() != pos + wire_len {
@@ -174,20 +173,20 @@ impl<R: Read> StreamReader<R> {
         }
         let len = u32::from_be_bytes(lenbuf) as usize;
         let mut frame = vec![0u8; len];
-        self.inner.read_exact(&mut frame).map_err(|_| TraceError::Format {
-            offset: self.offset,
-            reason: "truncated frame".into(),
-        })?;
+        self.inner
+            .read_exact(&mut frame)
+            .map_err(|_| TraceError::Format {
+                offset: self.offset,
+                reason: "truncated frame".into(),
+            })?;
         self.offset += 4 + len as u64;
-        decode_frame(&frame)
-            .map(Some)
-            .map_err(|e| match e {
-                TraceError::Format { reason, .. } => TraceError::Format {
-                    offset: self.offset,
-                    reason,
-                },
-                other => other,
-            })
+        decode_frame(&frame).map(Some).map_err(|e| match e {
+            TraceError::Format { reason, .. } => TraceError::Format {
+                offset: self.offset,
+                reason,
+            },
+            other => other,
+        })
     }
 }
 
@@ -290,6 +289,11 @@ mod tests {
         let recs = sample(100);
         let stream = to_bytes(&recs).unwrap();
         let capture = crate::capture::to_bytes(&recs).unwrap();
-        assert!(stream.len() < capture.len(), "{} !< {}", stream.len(), capture.len());
+        assert!(
+            stream.len() < capture.len(),
+            "{} !< {}",
+            stream.len(),
+            capture.len()
+        );
     }
 }

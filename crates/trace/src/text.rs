@@ -28,7 +28,11 @@ use crate::TraceError;
 pub fn format_line(rec: &TraceRecord) -> String {
     let q = rec.message.question();
     let (qname, qclass, qtype) = match q {
-        Some(q) => (q.qname.to_string(), q.qclass.to_string(), q.qtype.to_string()),
+        Some(q) => (
+            q.qname.to_string(),
+            q.qclass.to_string(),
+            q.qtype.to_string(),
+        ),
         None => (".".into(), "IN".into(), "A".into()),
     };
     let mut flags = Vec::new();

@@ -46,7 +46,10 @@ impl fmt::Display for WireError {
             WireError::BadLabelType(b) => write!(f, "unsupported label type {b:#04x}"),
             WireError::BadText(s) => write!(f, "bad text representation: {s}"),
             WireError::BadRdataLength { expected, actual } => {
-                write!(f, "rdata length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "rdata length mismatch: expected {expected}, got {actual}"
+                )
             }
             WireError::MessageTooLong(n) => write!(f, "message of {n} bytes exceeds 65535"),
             WireError::Unsupported(what) => write!(f, "unsupported {what}"),

@@ -48,11 +48,7 @@ fn self_referencing_pointer_chain_rejected() {
 fn maximum_label_and_name_sizes() {
     let label63 = "a".repeat(63);
     // 3 × 63 + 61 + dots = 253 text chars ⇒ 255 wire bytes: the maximum.
-    let name = Name::parse(&format!(
-        "{label63}.{label63}.{label63}.{}",
-        "a".repeat(61)
-    ))
-    .unwrap();
+    let name = Name::parse(&format!("{label63}.{label63}.{label63}.{}", "a".repeat(61))).unwrap();
     assert_eq!(name.wire_len(), 255);
     let msg = Message::query(1, name.clone(), RrType::A);
     let bytes = msg.to_bytes().unwrap();
@@ -67,9 +63,11 @@ fn case_preserved_through_wire_comparison_insensitive() {
     // Wire decoding lowercases (we normalize); two casings must decode to
     // equal names and hit the same compression slots.
     let mut w = WireWriter::new();
-    w.put_name(&Name::parse("WWW.Example.COM").unwrap()).unwrap();
+    w.put_name(&Name::parse("WWW.Example.COM").unwrap())
+        .unwrap();
     let upper = w.len();
-    w.put_name(&Name::parse("www.example.com").unwrap()).unwrap();
+    w.put_name(&Name::parse("www.example.com").unwrap())
+        .unwrap();
     // Second name compresses into a single pointer against the first.
     assert_eq!(w.len(), upper + 2);
 }
@@ -130,7 +128,10 @@ fn response_larger_than_question_roundtrip_at_64k_boundary() {
             RData::Txt(vec![vec![b'y'; 255]]),
         ));
     }
-    assert!(resp.to_bytes().is_err(), "oversized message must be rejected");
+    assert!(
+        resp.to_bytes().is_err(),
+        "oversized message must be rejected"
+    );
     m.answers.clear();
 }
 

@@ -1,7 +1,9 @@
 //! Property tests: arbitrary messages survive encode → decode unchanged,
 //! with and without name compression.
 
-use ldp_wire::{Edns, Header, Message, Name, Opcode, Question, RData, Rcode, Record, RrClass, RrType, SoaData};
+use ldp_wire::{
+    Edns, Header, Message, Name, Opcode, Question, RData, Rcode, Record, RrClass, RrType, SoaData,
+};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = Vec<u8>> {
@@ -41,22 +43,64 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(SoaData {
-                mname, rname, serial, refresh, retry, expire, minimum
-            })
-        ),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4).prop_map(RData::Txt),
-        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(|(priority, weight, port, target)| RData::Srv {
-            priority, weight, port, target
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum
+                })
+            ),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
         }),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
-            |(flags, protocol, algorithm, public_key)| RData::Dnskey { flags, protocol, algorithm, public_key }
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
+            .prop_map(RData::Txt),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
         ),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(key_tag, algorithm, digest_type, digest)| RData::Ds { key_tag, algorithm, digest_type, digest }
-        ),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..300)
+        )
+            .prop_map(|(flags, protocol, algorithm, public_key)| RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                public_key
+            }),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest
+            }),
         proptest::collection::vec(any::<u8>(), 0..100).prop_map(RData::Unknown),
     ]
 }

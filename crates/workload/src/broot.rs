@@ -207,8 +207,7 @@ mod tests {
         let trace = cfg.generate();
         let tcp = trace.iter().filter(|r| r.protocol == Protocol::Tcp).count() as f64
             / trace.len() as f64;
-        let do_share =
-            trace.iter().filter(|r| r.dnssec_ok()).count() as f64 / trace.len() as f64;
+        let do_share = trace.iter().filter(|r| r.dnssec_ok()).count() as f64 / trace.len() as f64;
         assert!((tcp - 0.03).abs() < 0.01, "tcp share {tcp}");
         assert!((do_share - 0.723).abs() < 0.02, "do share {do_share}");
     }
@@ -246,7 +245,12 @@ mod tests {
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a, b);
-        let c = BRootConfig { seed: 2, duration_s: 5.0, ..BRootConfig::default() }.generate();
+        let c = BRootConfig {
+            seed: 2,
+            duration_s: 5.0,
+            ..BRootConfig::default()
+        }
+        .generate();
         assert_ne!(a, c);
     }
 

@@ -44,7 +44,9 @@ impl ZipfSampler {
     /// Draws a rank.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Exact probability mass of a rank (for tests).
@@ -91,13 +93,23 @@ mod tests {
         let counts = sample_counts(50, 1.3, 100_000, 7);
         let s = ZipfSampler::new(50, 1.3);
         let observed = counts[0] as f64 / 100_000.0;
-        assert!((observed - s.mass(0)).abs() < 0.01, "{observed} vs {}", s.mass(0));
+        assert!(
+            (observed - s.mass(0)).abs() < 0.01,
+            "{observed} vs {}",
+            s.mass(0)
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(sample_counts(100, 1.3, 10_000, 9), sample_counts(100, 1.3, 10_000, 9));
-        assert_ne!(sample_counts(100, 1.3, 10_000, 9), sample_counts(100, 1.3, 10_000, 10));
+        assert_eq!(
+            sample_counts(100, 1.3, 10_000, 9),
+            sample_counts(100, 1.3, 10_000, 9)
+        );
+        assert_ne!(
+            sample_counts(100, 1.3, 10_000, 9),
+            sample_counts(100, 1.3, 10_000, 10)
+        );
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub fn synthetic_root_zone(extra_tlds: usize) -> Zone {
     // Root's own NS set.
     for i in 0..13u8 {
         let ns = Name::parse(&format!("{}.root-servers.net", (b'a' + i) as char)).unwrap();
-        zone.add(Record::new(Name::root(), 518400, RData::Ns(ns.clone()))).unwrap();
+        zone.add(Record::new(Name::root(), 518400, RData::Ns(ns.clone())))
+            .unwrap();
         zone.add(Record::new(
             ns,
             518400,
@@ -39,7 +40,8 @@ pub fn synthetic_root_zone(extra_tlds: usize) -> Zone {
         let owner = Name::parse(tld).unwrap();
         for k in 0..2u8 {
             let ns = Name::parse(&format!("ns{k}.{tld}-servers.net")).unwrap();
-            zone.add(Record::new(owner.clone(), 172_800, RData::Ns(ns.clone()))).unwrap();
+            zone.add(Record::new(owner.clone(), 172_800, RData::Ns(ns.clone())))
+                .unwrap();
             zone.add(Record::new(
                 ns,
                 172_800,
@@ -177,10 +179,17 @@ mod tests {
     #[test]
     fn wildcard_zone_answers_anything_under_domain() {
         let zone = wildcard_example_zone();
-        for name in ["a.example.com", "u0000deadbeef.example.com", "x.y.example.com"] {
+        for name in [
+            "a.example.com",
+            "u0000deadbeef.example.com",
+            "x.y.example.com",
+        ] {
             let q = Name::parse(name).unwrap();
             assert!(
-                matches!(zone.lookup(&q, RrType::A, false), LookupOutcome::Answer { .. }),
+                matches!(
+                    zone.lookup(&q, RrType::A, false),
+                    LookupOutcome::Answer { .. }
+                ),
                 "{name}"
             );
         }

@@ -117,7 +117,10 @@ pub fn sign_zone(zone: &mut Zone, config: SigningConfig) {
         zone.add(k).expect("apex DNSKEY is in zone");
     }
     // Sign the DNSKEY rrset with the KSK as real zones do.
-    let dnskey_ttl = zone.get(&apex, RrType::Dnskey).map(|s| s.ttl).unwrap_or(3600);
+    let dnskey_ttl = zone
+        .get(&apex, RrType::Dnskey)
+        .map(|s| s.ttl)
+        .unwrap_or(3600);
     let ksk_sig = rrsig(
         &apex,
         RrType::Dnskey,
@@ -167,7 +170,14 @@ pub fn sign_zone(zone: &mut Zone, config: SigningConfig) {
         );
         zone.add(nsec).expect("nsec owner exists");
         for &tag in &key_tags {
-            let sig = rrsig(&owner, RrType::Nsec, negative_ttl, tag, &apex, config.signature_len());
+            let sig = rrsig(
+                &owner,
+                RrType::Nsec,
+                negative_ttl,
+                tag,
+                &apex,
+                config.signature_len(),
+            );
             zone.add(sig).expect("nsec signature owner exists");
         }
     }
@@ -245,14 +255,35 @@ mod tests {
 
     fn root_like_zone() -> Zone {
         let mut z = Zone::with_fake_soa(Name::root());
-        z.add(WireRecord::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net")))).unwrap();
-        z.add(WireRecord::new(n("a.root-servers.net"), 518400, RData::A("198.41.0.4".parse().unwrap()))).unwrap();
-        z.add(WireRecord::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
+        z.add(WireRecord::new(
+            Name::root(),
+            518400,
+            RData::Ns(n("a.root-servers.net")),
+        ))
+        .unwrap();
+        z.add(WireRecord::new(
+            n("a.root-servers.net"),
+            518400,
+            RData::A("198.41.0.4".parse().unwrap()),
+        ))
+        .unwrap();
+        z.add(WireRecord::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
         z.add(WireRecord::new(
             n("com"),
             86400,
-            RData::Ds { key_tag: 1, algorithm: 8, digest_type: 2, digest: vec![7; 32] },
-        )).unwrap();
+            RData::Ds {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![7; 32],
+            },
+        ))
+        .unwrap();
         z
     }
 
@@ -274,12 +305,30 @@ mod tests {
         let mut rolled = root_like_zone();
         sign_zone(&mut rolled, SigningConfig::zsk2048().rollover());
 
-        let keys_single = single.get(&Name::root(), RrType::Dnskey).unwrap().rdatas.len();
-        let keys_rolled = rolled.get(&Name::root(), RrType::Dnskey).unwrap().rdatas.len();
+        let keys_single = single
+            .get(&Name::root(), RrType::Dnskey)
+            .unwrap()
+            .rdatas
+            .len();
+        let keys_rolled = rolled
+            .get(&Name::root(), RrType::Dnskey)
+            .unwrap()
+            .rdatas
+            .len();
         assert_eq!(keys_rolled, keys_single + 1);
 
-        let sigs_single = single.get(&Name::root(), RrType::Soa).map(|_| ()).and(single.get(&Name::root(), RrType::Rrsig)).unwrap().rdatas.len();
-        let sigs_rolled = rolled.get(&Name::root(), RrType::Rrsig).unwrap().rdatas.len();
+        let sigs_single = single
+            .get(&Name::root(), RrType::Soa)
+            .map(|_| ())
+            .and(single.get(&Name::root(), RrType::Rrsig))
+            .unwrap()
+            .rdatas
+            .len();
+        let sigs_rolled = rolled
+            .get(&Name::root(), RrType::Rrsig)
+            .unwrap()
+            .rdatas
+            .len();
         assert!(sigs_rolled > sigs_single, "{sigs_rolled} !> {sigs_single}");
     }
 
@@ -330,8 +379,15 @@ mod tests {
         };
         assert!(plain.ds_records.is_empty());
         assert_eq!(signed.ds_records.len(), 2, "DS + RRSIG(DS)");
-        let extra: usize = signed.ds_records.iter().map(|r| r.wire_size_estimate()).sum();
-        assert!(extra > 256, "signed referral must grow by at least a signature");
+        let extra: usize = signed
+            .ds_records
+            .iter()
+            .map(|r| r.wire_size_estimate())
+            .sum();
+        assert!(
+            extra > 256,
+            "signed referral must grow by at least a signature"
+        );
     }
 
     #[test]

@@ -300,9 +300,7 @@ impl Zone {
             let candidate = qname.ancestor(keep - 1).expect("within label count");
             if self.name_exists(&candidate) {
                 // candidate is the closest encloser.
-                let wild = candidate
-                    .prepend(b"*")
-                    .expect("wildcard label fits");
+                let wild = candidate.prepend(b"*").expect("wildcard label fits");
                 return self.get_all(&wild).map(|types| (wild, types));
             }
             keep -= 1;
@@ -341,30 +339,80 @@ mod tests {
     /// hierarchy from the paper's walkthrough.
     fn root_zone() -> Zone {
         let mut z = Zone::with_fake_soa(Name::root());
-        z.add(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net")))).unwrap();
-        z.add(Record::new(n("a.root-servers.net"), 518400, a("198.41.0.4"))).unwrap();
-        z.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        z.add(Record::new(n("a.gtld-servers.net"), 172800, a("192.5.6.30"))).unwrap();
+        z.add(Record::new(
+            Name::root(),
+            518400,
+            RData::Ns(n("a.root-servers.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("a.root-servers.net"),
+            518400,
+            a("198.41.0.4"),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("a.gtld-servers.net"),
+            172800,
+            a("192.5.6.30"),
+        ))
+        .unwrap();
         z
     }
 
     fn com_zone() -> Zone {
         let mut z = Zone::with_fake_soa(n("com"));
-        z.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        z.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-        z.add(Record::new(n("ns1.example.com"), 172800, a("192.0.2.53"))).unwrap();
+        z.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("example.com"),
+            172800,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(n("ns1.example.com"), 172800, a("192.0.2.53")))
+            .unwrap();
         z
     }
 
     fn example_zone() -> Zone {
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
-        z.add(Record::new(n("ns1.example.com"), 3600, a("192.0.2.53"))).unwrap();
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.80"))).unwrap();
-        z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com")))).unwrap();
-        z.add(Record::new(n("ext.example.com"), 300, RData::Cname(n("target.example.net")))).unwrap();
-        z.add(Record::new(n("*.wild.example.com"), 60, a("192.0.2.99"))).unwrap();
-        z.add(Record::new(n("a.deep.example.com"), 60, a("192.0.2.11"))).unwrap();
+        z.add(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(n("ns1.example.com"), 3600, a("192.0.2.53")))
+            .unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.80")))
+            .unwrap();
+        z.add(Record::new(
+            n("alias.example.com"),
+            300,
+            RData::Cname(n("www.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("ext.example.com"),
+            300,
+            RData::Cname(n("target.example.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(n("*.wild.example.com"), 60, a("192.0.2.99")))
+            .unwrap();
+        z.add(Record::new(n("a.deep.example.com"), 60, a("192.0.2.11")))
+            .unwrap();
         z
     }
 
@@ -398,7 +446,11 @@ mod tests {
     fn leaf_zone_answers() {
         let z = example_zone();
         match z.lookup(&n("www.example.com"), RrType::A, false) {
-            LookupOutcome::Answer { records, authority, additional } => {
+            LookupOutcome::Answer {
+                records,
+                authority,
+                additional,
+            } => {
                 assert_eq!(records.len(), 1);
                 assert_eq!(records[0].rdata, a("192.0.2.80"));
                 assert_eq!(authority.len(), 1, "apex NS in authority");
@@ -529,8 +581,7 @@ mod tests {
         let z = example_zone();
         match z.lookup(&n("example.com"), RrType::Any, false) {
             LookupOutcome::Answer { records, .. } => {
-                let types: std::collections::HashSet<_> =
-                    records.iter().map(|r| r.rtype).collect();
+                let types: std::collections::HashSet<_> = records.iter().map(|r| r.rtype).collect();
                 assert!(types.contains(&RrType::Soa));
                 assert!(types.contains(&RrType::Ns));
             }
@@ -541,8 +592,18 @@ mod tests {
     #[test]
     fn cname_loop_terminates() {
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("a.example.com"), 60, RData::Cname(n("b.example.com")))).unwrap();
-        z.add(Record::new(n("b.example.com"), 60, RData::Cname(n("a.example.com")))).unwrap();
+        z.add(Record::new(
+            n("a.example.com"),
+            60,
+            RData::Cname(n("b.example.com")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("b.example.com"),
+            60,
+            RData::Cname(n("a.example.com")),
+        ))
+        .unwrap();
         // Must not hang; outcome shape unimportant beyond termination.
         let _ = z.lookup(&n("a.example.com"), RrType::A, false);
     }
@@ -572,8 +633,14 @@ mod tests {
             n("example.com"),
             RrType::Ds,
             3600,
-            RData::Ds { key_tag: 7, algorithm: 8, digest_type: 2, digest: vec![0; 32] },
-        )).unwrap();
+            RData::Ds {
+                key_tag: 7,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0; 32],
+            },
+        ))
+        .unwrap();
         z.add(sig(RrType::Ds, "example.com")).unwrap();
 
         match z.lookup(&n("www.example.com"), RrType::A, true) {
@@ -596,8 +663,14 @@ mod tests {
             n("example.com"),
             RrType::Ds,
             3600,
-            RData::Ds { key_tag: 7, algorithm: 8, digest_type: 2, digest: vec![0; 32] },
-        )).unwrap();
+            RData::Ds {
+                key_tag: 7,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0; 32],
+            },
+        ))
+        .unwrap();
         match z.lookup(&n("example.com"), RrType::Ds, false) {
             LookupOutcome::Answer { records, .. } => {
                 assert_eq!(records.len(), 1);

@@ -226,12 +226,7 @@ impl Parser {
             })
     }
 
-    fn parse_rdata(
-        &self,
-        line: usize,
-        rtype: RrType,
-        toks: &[String],
-    ) -> Result<RData, ZoneError> {
+    fn parse_rdata(&self, line: usize, rtype: RrType, toks: &[String]) -> Result<RData, ZoneError> {
         let need = |n: usize| -> Result<(), ZoneError> {
             if toks.len() < n {
                 Err(self.err(line, format!("{rtype} rdata needs {n} fields")))
@@ -255,9 +250,11 @@ impl Parser {
         Ok(match rtype {
             RrType::A => {
                 need(1)?;
-                RData::A(toks[0]
-                    .parse::<Ipv4Addr>()
-                    .map_err(|_| self.err(line, "bad A address"))?)
+                RData::A(
+                    toks[0]
+                        .parse::<Ipv4Addr>()
+                        .map_err(|_| self.err(line, "bad A address"))?,
+                )
             }
             RrType::Aaaa => {
                 need(1)?;
@@ -316,18 +313,30 @@ impl Parser {
             RrType::Srv => {
                 need(4)?;
                 RData::Srv {
-                    priority: toks[0].parse().map_err(|_| self.err(line, "bad SRV priority"))?,
-                    weight: toks[1].parse().map_err(|_| self.err(line, "bad SRV weight"))?,
-                    port: toks[2].parse().map_err(|_| self.err(line, "bad SRV port"))?,
+                    priority: toks[0]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad SRV priority"))?,
+                    weight: toks[1]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad SRV weight"))?,
+                    port: toks[2]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad SRV port"))?,
                     target: self.resolve_name(line, &toks[3])?,
                 }
             }
             RrType::Dnskey => {
                 need(4)?;
                 RData::Dnskey {
-                    flags: toks[0].parse().map_err(|_| self.err(line, "bad DNSKEY flags"))?,
-                    protocol: toks[1].parse().map_err(|_| self.err(line, "bad DNSKEY protocol"))?,
-                    algorithm: toks[2].parse().map_err(|_| self.err(line, "bad DNSKEY algorithm"))?,
+                    flags: toks[0]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DNSKEY flags"))?,
+                    protocol: toks[1]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DNSKEY protocol"))?,
+                    algorithm: toks[2]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DNSKEY algorithm"))?,
                     public_key: parse_hex(&toks[3..].concat())
                         .ok_or_else(|| self.err(line, "bad DNSKEY key hex"))?,
                 }
@@ -338,12 +347,21 @@ impl Parser {
                     type_covered: toks[0]
                         .parse::<RrType>()
                         .map_err(|e| self.err(line, e.to_string()))?,
-                    algorithm: toks[1].parse().map_err(|_| self.err(line, "bad RRSIG algorithm"))?,
-                    labels: toks[2].parse().map_err(|_| self.err(line, "bad RRSIG labels"))?,
-                    original_ttl: parse_ttl(&toks[3]).ok_or_else(|| self.err(line, "bad RRSIG ttl"))?,
-                    expiration: parse_ttl(&toks[4]).ok_or_else(|| self.err(line, "bad RRSIG expiration"))?,
-                    inception: parse_ttl(&toks[5]).ok_or_else(|| self.err(line, "bad RRSIG inception"))?,
-                    key_tag: toks[6].parse().map_err(|_| self.err(line, "bad RRSIG key tag"))?,
+                    algorithm: toks[1]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad RRSIG algorithm"))?,
+                    labels: toks[2]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad RRSIG labels"))?,
+                    original_ttl: parse_ttl(&toks[3])
+                        .ok_or_else(|| self.err(line, "bad RRSIG ttl"))?,
+                    expiration: parse_ttl(&toks[4])
+                        .ok_or_else(|| self.err(line, "bad RRSIG expiration"))?,
+                    inception: parse_ttl(&toks[5])
+                        .ok_or_else(|| self.err(line, "bad RRSIG inception"))?,
+                    key_tag: toks[6]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad RRSIG key tag"))?,
                     signer: self.resolve_name(line, &toks[7])?,
                     signature: parse_hex(&toks[8..].concat())
                         .ok_or_else(|| self.err(line, "bad RRSIG signature hex"))?,
@@ -352,9 +370,15 @@ impl Parser {
             RrType::Ds => {
                 need(4)?;
                 RData::Ds {
-                    key_tag: toks[0].parse().map_err(|_| self.err(line, "bad DS key tag"))?,
-                    algorithm: toks[1].parse().map_err(|_| self.err(line, "bad DS algorithm"))?,
-                    digest_type: toks[2].parse().map_err(|_| self.err(line, "bad DS digest type"))?,
+                    key_tag: toks[0]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DS key tag"))?,
+                    algorithm: toks[1]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DS algorithm"))?,
+                    digest_type: toks[2]
+                        .parse()
+                        .map_err(|_| self.err(line, "bad DS digest type"))?,
                     digest: parse_hex(&toks[3..].concat())
                         .ok_or_else(|| self.err(line, "bad DS digest hex"))?,
                 }
@@ -528,7 +552,10 @@ odd     IN TYPE999 \# 4 0a0b0c0d
         let soa = z.soa().unwrap();
         assert_eq!(soa.serial, 2024010101);
         assert_eq!(soa.mname, n("ns1.example.com"));
-        assert_eq!(z.get(&n("example.com"), RrType::Ns).unwrap().rdatas.len(), 2);
+        assert_eq!(
+            z.get(&n("example.com"), RrType::Ns).unwrap().rdatas.len(),
+            2
+        );
         assert_eq!(
             z.get(&n("ns2.example.com"), RrType::A).unwrap().ttl,
             300,
@@ -538,10 +565,15 @@ odd     IN TYPE999 \# 4 0a0b0c0d
         // Inherited owner: AAAA attaches to www.
         assert!(z.get(&n("www.example.com"), RrType::Aaaa).is_some());
         // Sub-delegation registered as a cut.
-        assert_eq!(z.deepest_cut(&n("x.sub.example.com")).unwrap(), &n("sub.example.com"));
+        assert_eq!(
+            z.deepest_cut(&n("x.sub.example.com")).unwrap(),
+            &n("sub.example.com")
+        );
         // Unknown type preserved.
         assert_eq!(
-            z.get(&n("odd.example.com"), RrType::Unknown(999)).unwrap().rdatas[0],
+            z.get(&n("odd.example.com"), RrType::Unknown(999))
+                .unwrap()
+                .rdatas[0],
             RData::Unknown(vec![0x0a, 0x0b, 0x0c, 0x0d])
         );
     }
@@ -565,7 +597,9 @@ odd     IN TYPE999 \# 4 0a0b0c0d
         let z2 = parse_zone(&n("example.com"), &text).unwrap();
         assert_eq!(z.record_count(), z2.record_count());
         for (name, rtype, set) in z.iter() {
-            let set2 = z2.get(name, rtype).unwrap_or_else(|| panic!("{name} {rtype} lost"));
+            let set2 = z2
+                .get(name, rtype)
+                .unwrap_or_else(|| panic!("{name} {rtype} lost"));
             assert_eq!(set.ttl, set2.ttl, "{name} {rtype}");
             let mut a = set.rdatas.clone();
             let mut b = set2.rdatas.clone();
@@ -598,13 +632,15 @@ odd     IN TYPE999 \# 4 0a0b0c0d
 
     #[test]
     fn out_of_zone_record_rejected() {
-        let bad = "$ORIGIN example.com.\n@ IN SOA ns1 host 1 2 3 4 5\nexample.net. IN A 192.0.2.1\n";
+        let bad =
+            "$ORIGIN example.com.\n@ IN SOA ns1 host 1 2 3 4 5\nexample.net. IN A 192.0.2.1\n";
         assert!(parse_zone(&n("example.com"), bad).is_err());
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "; leading comment\n\n$ORIGIN t.\n@ IN SOA ns h 1 2 3 4 5 ; trailing\n\n; done\n";
+        let text =
+            "; leading comment\n\n$ORIGIN t.\n@ IN SOA ns h 1 2 3 4 5 ; trailing\n\n; done\n";
         let z = parse_zone(&n("t"), text).unwrap();
         assert!(z.soa().is_some());
     }

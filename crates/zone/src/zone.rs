@@ -104,7 +104,10 @@ impl Zone {
     pub fn with_fake_soa(origin: Name) -> Zone {
         let mut z = Zone::new(origin.clone());
         let soa = RData::Soa(SoaData {
-            mname: Name::parse("ns.fake").unwrap().concat(&origin).unwrap_or_else(|_| origin.clone()),
+            mname: Name::parse("ns.fake")
+                .unwrap()
+                .concat(&origin)
+                .unwrap_or_else(|_| origin.clone()),
             rname: Name::parse("hostmaster.fake").unwrap(),
             serial: 1,
             refresh: 7200,
@@ -112,7 +115,8 @@ impl Zone {
             expire: 1209600,
             minimum: 300,
         });
-        z.add(Record::new(origin, 3600, soa)).expect("apex SOA is in zone");
+        z.add(Record::new(origin, 3600, soa))
+            .expect("apex SOA is in zone");
         z
     }
 
@@ -143,9 +147,7 @@ impl Zone {
                     return Err(ZoneError::CnameConflict(record.name));
                 }
                 if let Some(cname_set) = types.get(&RrType::Cname) {
-                    if !cname_set.rdatas.is_empty()
-                        && !cname_set.rdatas.contains(&record.rdata)
-                    {
+                    if !cname_set.rdatas.is_empty() && !cname_set.rdatas.contains(&record.rdata) {
                         // Second, different CNAME at the same name.
                         return Err(ZoneError::CnameConflict(record.name));
                     }
@@ -326,7 +328,8 @@ mod tests {
     #[test]
     fn add_and_get() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1"))).unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
         let set = z.get(&n("www.example.com"), RrType::A).unwrap();
         assert_eq!(set.ttl, 300);
         assert_eq!(set.rdatas, vec![a("192.0.2.1")]);
@@ -335,9 +338,12 @@ mod tests {
     #[test]
     fn rrset_merging_and_dedup() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1"))).unwrap();
-        z.add(Record::new(n("www.example.com"), 600, a("192.0.2.2"))).unwrap();
-        z.add(Record::new(n("www.example.com"), 999, a("192.0.2.1"))).unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
+        z.add(Record::new(n("www.example.com"), 600, a("192.0.2.2")))
+            .unwrap();
+        z.add(Record::new(n("www.example.com"), 999, a("192.0.2.1")))
+            .unwrap();
         let set = z.get(&n("www.example.com"), RrType::A).unwrap();
         assert_eq!(set.ttl, 300, "first TTL wins");
         assert_eq!(set.rdatas.len(), 2, "duplicate rdata ignored");
@@ -346,14 +352,17 @@ mod tests {
     #[test]
     fn out_of_zone_rejected() {
         let mut z = zone_with_soa("example.com");
-        let err = z.add(Record::new(n("example.net"), 300, a("192.0.2.1"))).unwrap_err();
+        let err = z
+            .add(Record::new(n("example.net"), 300, a("192.0.2.1")))
+            .unwrap_err();
         assert!(matches!(err, ZoneError::OutOfZone { .. }));
     }
 
     #[test]
     fn empty_non_terminals_exist() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("a.b.c.example.com"), 300, a("192.0.2.1"))).unwrap();
+        z.add(Record::new(n("a.b.c.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
         assert!(z.name_exists(&n("a.b.c.example.com")));
         assert!(z.name_exists(&n("b.c.example.com")), "ENT must exist");
         assert!(z.name_exists(&n("c.example.com")), "ENT must exist");
@@ -364,7 +373,12 @@ mod tests {
     #[test]
     fn cname_exclusivity() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com")))).unwrap();
+        z.add(Record::new(
+            n("alias.example.com"),
+            300,
+            RData::Cname(n("www.example.com")),
+        ))
+        .unwrap();
         // Other data at a CNAME owner is rejected.
         assert!(matches!(
             z.add(Record::new(n("alias.example.com"), 300, a("192.0.2.1"))),
@@ -372,15 +386,29 @@ mod tests {
         ));
         // A different CNAME at the same owner is rejected.
         assert!(matches!(
-            z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("other.example.com")))),
+            z.add(Record::new(
+                n("alias.example.com"),
+                300,
+                RData::Cname(n("other.example.com"))
+            )),
             Err(ZoneError::CnameConflict(_))
         ));
         // Same CNAME again is fine (idempotent).
-        z.add(Record::new(n("alias.example.com"), 300, RData::Cname(n("www.example.com")))).unwrap();
+        z.add(Record::new(
+            n("alias.example.com"),
+            300,
+            RData::Cname(n("www.example.com")),
+        ))
+        .unwrap();
         // CNAME added to a name that has data is rejected.
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1"))).unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
         assert!(matches!(
-            z.add(Record::new(n("www.example.com"), 300, RData::Cname(n("x.example.com")))),
+            z.add(Record::new(
+                n("www.example.com"),
+                300,
+                RData::Cname(n("x.example.com"))
+            )),
             Err(ZoneError::CnameConflict(_))
         ));
     }
@@ -388,11 +416,24 @@ mod tests {
     #[test]
     fn apex_ns_is_not_a_cut() {
         let mut z = zone_with_soa("com");
-        z.add(Record::new(n("com"), 3600, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        z.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
+        z.add(Record::new(
+            n("com"),
+            3600,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
         assert!(z.deepest_cut(&n("com")).is_none());
         assert_eq!(z.deepest_cut(&n("example.com")).unwrap(), &n("example.com"));
-        assert_eq!(z.deepest_cut(&n("www.example.com")).unwrap(), &n("example.com"));
+        assert_eq!(
+            z.deepest_cut(&n("www.example.com")).unwrap(),
+            &n("example.com")
+        );
         assert!(z.deepest_cut(&n("other.com")).is_none());
     }
 
@@ -401,8 +442,18 @@ mod tests {
         // root zone delegating com, which (wrongly, but defensively) also
         // contains a deeper NS: topmost cut must be chosen.
         let mut z = zone_with_soa(".");
-        z.add(Record::new(n("com"), 3600, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        z.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
+        z.add(Record::new(
+            n("com"),
+            3600,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
         assert_eq!(z.deepest_cut(&n("www.example.com")).unwrap(), &n("com"));
     }
 
@@ -416,8 +467,10 @@ mod tests {
     #[test]
     fn record_count_counts_rdatas() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1"))).unwrap();
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.2"))).unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.2")))
+            .unwrap();
         assert_eq!(z.record_count(), 3); // SOA + 2 A
     }
 
@@ -431,7 +484,8 @@ mod tests {
     #[test]
     fn remove_type_strips_rrsets() {
         let mut z = zone_with_soa("example.com");
-        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1"))).unwrap();
+        z.add(Record::new(n("www.example.com"), 300, a("192.0.2.1")))
+            .unwrap();
         z.add(Record::with_type(
             n("www.example.com"),
             RrType::Rrsig,
@@ -447,7 +501,8 @@ mod tests {
                 signer: n("example.com"),
                 signature: vec![0; 128],
             },
-        )).unwrap();
+        ))
+        .unwrap();
         z.remove_type(RrType::Rrsig);
         assert!(z.get(&n("www.example.com"), RrType::Rrsig).is_none());
         assert!(z.get(&n("www.example.com"), RrType::A).is_some());

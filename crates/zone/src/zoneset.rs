@@ -96,10 +96,19 @@ mod tests {
     #[test]
     fn longest_suffix_wins() {
         let set = make_set();
-        assert_eq!(set.find_zone(&n("www.example.com")).unwrap().origin(), &n("example.com"));
+        assert_eq!(
+            set.find_zone(&n("www.example.com")).unwrap().origin(),
+            &n("example.com")
+        );
         assert_eq!(set.find_zone(&n("other.com")).unwrap().origin(), &n("com"));
-        assert_eq!(set.find_zone(&n("example.net")).unwrap().origin(), &Name::root());
-        assert_eq!(set.find_zone(&Name::root()).unwrap().origin(), &Name::root());
+        assert_eq!(
+            set.find_zone(&n("example.net")).unwrap().origin(),
+            &Name::root()
+        );
+        assert_eq!(
+            set.find_zone(&Name::root()).unwrap().origin(),
+            &Name::root()
+        );
     }
 
     #[test]
@@ -114,7 +123,12 @@ mod tests {
     fn lookup_routes_to_best_zone() {
         let mut set = make_set();
         let mut z = Zone::with_fake_soa(n("example.com"));
-        z.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.1".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .unwrap();
         set.insert(z);
         let (zone, outcome) = set.lookup(&n("www.example.com"), RrType::A, false).unwrap();
         assert_eq!(zone.origin(), &n("example.com"));

@@ -14,7 +14,9 @@
 use std::net::{IpAddr, SocketAddr};
 use std::sync::Arc;
 
-use ldplayer::netsim::{Ctx, Node, NodeEvent, Packet, Payload, Sim, SimDuration, SimTime, TcpConfig};
+use ldplayer::netsim::{
+    Ctx, Node, NodeEvent, Packet, Payload, Sim, SimDuration, SimTime, TcpConfig,
+};
 use ldplayer::proxy::ProxyNode;
 use ldplayer::server::auth::AuthEngine;
 use ldplayer::server::recursive::{ResolverConfig, ResolverCore, ResolverStep};
@@ -35,21 +37,76 @@ fn ip(s: &str) -> IpAddr {
 /// The "real Internet" hierarchy the one-time zone construction queries.
 fn origin_hierarchy() -> AuthEngine {
     let mut root = Zone::with_fake_soa(Name::root());
-    root.add(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net")))).unwrap();
-    root.add(Record::new(n("a.root-servers.net"), 518400, RData::A("198.41.0.4".parse().unwrap()))).unwrap();
-    root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-    root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+    root.add(Record::new(
+        Name::root(),
+        518400,
+        RData::Ns(n("a.root-servers.net")),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("a.root-servers.net"),
+        518400,
+        RData::A("198.41.0.4".parse().unwrap()),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("com"),
+        172800,
+        RData::Ns(n("a.gtld-servers.net")),
+    ))
+    .unwrap();
+    root.add(Record::new(
+        n("a.gtld-servers.net"),
+        172800,
+        RData::A("192.5.6.30".parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut com = Zone::with_fake_soa(n("com"));
-    com.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-    com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-    com.add(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+    com.add(Record::new(
+        n("com"),
+        172800,
+        RData::Ns(n("a.gtld-servers.net")),
+    ))
+    .unwrap();
+    com.add(Record::new(
+        n("example.com"),
+        172800,
+        RData::Ns(n("ns1.example.com")),
+    ))
+    .unwrap();
+    com.add(Record::new(
+        n("ns1.example.com"),
+        172800,
+        RData::A("192.0.2.53".parse().unwrap()),
+    ))
+    .unwrap();
 
     let mut sld = Zone::with_fake_soa(n("example.com"));
-    sld.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com")))).unwrap();
-    sld.add(Record::new(n("ns1.example.com"), 3600, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
-    sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
-    sld.add(Record::new(n("mail.example.com"), 300, RData::A("192.0.2.25".parse().unwrap()))).unwrap();
+    sld.add(Record::new(
+        n("example.com"),
+        3600,
+        RData::Ns(n("ns1.example.com")),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("ns1.example.com"),
+        3600,
+        RData::A("192.0.2.53".parse().unwrap()),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("www.example.com"),
+        300,
+        RData::A("192.0.2.80".parse().unwrap()),
+    ))
+    .unwrap();
+    sld.add(Record::new(
+        n("mail.example.com"),
+        300,
+        RData::A("192.0.2.25".parse().unwrap()),
+    ))
+    .unwrap();
 
     AuthEngine::with_views(ViewTable::from_nameserver_map(vec![
         (ip("198.41.0.4"), root),

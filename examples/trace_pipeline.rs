@@ -6,9 +6,9 @@
 
 use std::sync::Arc;
 
+use ldplayer::replay::{LiveReplay, ReplayMode};
 use ldplayer::server::auth::AuthEngine;
 use ldplayer::server::live::LiveServer;
-use ldplayer::replay::{LiveReplay, ReplayMode};
 use ldplayer::trace::{capture, stream, text};
 use ldplayer::workload::zones::wildcard_example_zone;
 use ldplayer::workload::SyntheticConfig;
@@ -42,9 +42,11 @@ async fn main() -> std::io::Result<()> {
     let edited = text_form.replace(" udp ", " tcp ");
 
     // 4. Parse back and pre-convert to the fast binary stream.
-    let mutated = text::read_text(std::io::Cursor::new(edited.into_bytes()))
-        .expect("edited text parses");
-    assert!(mutated.iter().all(|r| r.protocol == ldplayer::trace::Protocol::Tcp));
+    let mutated =
+        text::read_text(std::io::Cursor::new(edited.into_bytes())).expect("edited text parses");
+    assert!(mutated
+        .iter()
+        .all(|r| r.protocol == ldplayer::trace::Protocol::Tcp));
     let stream_bytes = stream::to_bytes(&mutated).expect("stream encodes");
     println!(
         "binary stream:   {} bytes ({}% of capture)",

@@ -53,7 +53,11 @@ fn udp_tcp_tls_resource_ordering() {
     let tcp = run(Some(mutate::all_tcp));
     let tls = run(Some(mutate::all_tls));
     for (label, r) in [("udp", &udp), ("tcp", &tcp), ("tls", &tls)] {
-        assert!(r.answer_rate() > 0.99, "{label} answer rate {}", r.answer_rate());
+        assert!(
+            r.answer_rate() > 0.99,
+            "{label} answer rate {}",
+            r.answer_rate()
+        );
     }
     assert!(udp.final_memory_gb() < tcp.final_memory_gb());
     assert!(tcp.final_memory_gb() < tls.final_memory_gb());
@@ -71,7 +75,9 @@ fn dnssec_mutation_grows_traffic() {
         let mut trace = base.generate();
         QueryMutator::new(4)
             .push(Mutation::ClearDoBit)
-            .push(Mutation::SetDoBit { fraction: do_fraction })
+            .push(Mutation::SetDoBit {
+                fraction: do_fraction,
+            })
             .apply_all(&mut trace);
         SimExperiment::signed_root(trace, SigningConfig::zsk2048())
             .rtt_ms(1)

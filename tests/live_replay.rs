@@ -151,7 +151,10 @@ async fn root_trace_replay_referrals_and_nxdomains() {
         report.answered
     );
     assert_eq!(
-        server.stats.udp_queries.load(std::sync::atomic::Ordering::Relaxed),
+        server
+            .stats
+            .udp_queries
+            .load(std::sync::atomic::Ordering::Relaxed),
         n
     );
 }

@@ -7,14 +7,16 @@ use ldplayer::zone::{master, LookupOutcome, Zone};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
-    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('x'), Just('3')], 1..8)
-        .prop_map(|cs| cs.into_iter().collect())
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('x'), Just('3')],
+        1..8,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
 }
 
 fn arb_name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(arb_label(), 1..4).prop_map(|labels| {
-        Name::parse(&labels.join(".")).expect("generated labels are valid")
-    })
+    proptest::collection::vec(arb_label(), 1..4)
+        .prop_map(|labels| Name::parse(&labels.join(".")).expect("generated labels are valid"))
 }
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
@@ -24,16 +26,15 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
         1024u16..65535,
         arb_name(),
         prop_oneof![Just(RrType::A), Just(RrType::Aaaa), Just(RrType::Ns)],
-        prop_oneof![Just(Protocol::Udp), Just(Protocol::Tcp), Just(Protocol::Tls)],
+        prop_oneof![
+            Just(Protocol::Udp),
+            Just(Protocol::Tcp),
+            Just(Protocol::Tls)
+        ],
     )
         .prop_map(|(t, ip, port, qname, qtype, protocol)| {
-            let mut rec = TraceRecord::udp_query(
-                t as u64,
-                std::net::IpAddr::from(ip),
-                port,
-                qname,
-                qtype,
-            );
+            let mut rec =
+                TraceRecord::udp_query(t as u64, std::net::IpAddr::from(ip), port, qname, qtype);
             rec.protocol = protocol;
             rec
         })
@@ -149,7 +150,9 @@ fn sim_determinism_with_loss() {
         .generate();
         let mut zones = ldplayer::zone::ZoneSet::new();
         zones.insert(ldplayer::workload::zones::synthetic_root_zone(10));
-        let engine = Arc::new(ldplayer::server::auth::AuthEngine::with_zones(Arc::new(zones)));
+        let engine = Arc::new(ldplayer::server::auth::AuthEngine::with_zones(Arc::new(
+            zones,
+        )));
         let mut sim = Sim::new();
         sim.set_loss(LossModel::random(0.1, LossScope::UdpOnly, 99));
         let q = sim.add_node(Box::new(SimQuerier::new(
