@@ -8,6 +8,8 @@
 //! statistical weight, e.g. `LDP_SCALE=4 cargo run -p ldp-bench --bin
 //! fig10_dnssec_bandwidth --release`.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 use std::path::PathBuf;
 
 pub use ldp_metrics::{Cdf, Report, Summary};

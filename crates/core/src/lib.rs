@@ -50,6 +50,8 @@
 //! println!("server memory: {:.1} GB", result.final_memory_gb());
 //! ```
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub use ldp_metrics as metrics;
 pub use ldp_netsim as netsim;
 pub use ldp_proxy as proxy;

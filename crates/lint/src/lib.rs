@@ -1,0 +1,185 @@
+//! `ldp-lint`: a dependency-free source-level analyzer enforcing the
+//! workspace's safety invariants as machine-checkable rules.
+//!
+//! | rule | alias              | what it forbids                                            |
+//! |------|--------------------|------------------------------------------------------------|
+//! | R1   | `hot-path-panic`   | `unwrap`/`expect`/`panic!`/`unreachable!` in hot paths     |
+//! | R2   | `lossy-cast`       | `as u8`/`as u16`/`as u32` in `crates/wire`                 |
+//! | R3   | `blocking-async`   | `thread::sleep` / blocking I/O inside async bodies         |
+//! | R4   | `parser-roundtrip` | public parser entry points without a round-trip test       |
+//!
+//! Escape hatch (requires a reason):
+//! `// ldp-lint: allow(r1) -- justification`, either trailing on the
+//! offending line or on its own line directly above it.
+//!
+//! Why source-level rather than a rustc driver: the rules are lexical
+//! invariants about *this* codebase (designated hot-path files, a naming
+//! convention for tests), the linter must build offline with zero
+//! dependencies, and token-stream analysis with comment/string stripping
+//! is already exact enough to have no false positives here.
+
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{
+    check_r4, entry_points, roundtrip_tests, Diagnostic, FileAnalysis, FileScope, Rule,
+};
+
+/// Hot-path modules for R1: every file in these crates' `src` trees...
+const HOT_PATH_CRATES: &[&str] = &["wire", "server", "proxy"];
+/// ...plus these individual files.
+const HOT_PATH_FILES: &[&str] = &["crates/replay/src/engine.rs", "crates/netsim/src/tcp.rs"];
+
+/// Crates whose parser entry points R4 audits.
+const R4_CRATES: &[&str] = &["wire", "zone"];
+
+/// Derives the rule scope for one file from its workspace-relative path.
+pub fn workspace_scope(rel: &Path) -> FileScope {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let in_crate_src = |krate: &str| rel_str.starts_with(&format!("crates/{krate}/src/"));
+    FileScope {
+        hot_path: HOT_PATH_CRATES.iter().any(|c| in_crate_src(c))
+            || HOT_PATH_FILES.iter().any(|f| rel_str == *f),
+        wire: in_crate_src("wire"),
+        // All first-party async code must not block, wherever it lives.
+        async_blocking: true,
+    }
+}
+
+/// Lints the whole workspace rooted at `root`. Scans `crates/*/{src,tests}`
+/// and the root package's `src`, `tests`, and `examples`; skips `vendor`
+/// and `target` entirely.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+
+    let mut diags = Vec::new();
+    // Per-crate R4 state, keyed by crate name.
+    type R4State = (Vec<rules::EntryPoint>, Vec<(PathBuf, String)>);
+    let mut r4: std::collections::BTreeMap<String, R4State> = Default::default();
+    let mut allows: Vec<FileAnalysis> = Vec::new();
+
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let src = std::fs::read_to_string(&path)?;
+        let analysis = FileAnalysis::new(rel.clone(), src.as_str());
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+
+        // R1–R3 only audit library/binary sources, not test or bench code
+        // (tests are free to unwrap).
+        let is_test_file = rel_str.contains("/tests/") || rel_str.starts_with("tests/");
+        if !is_test_file {
+            diags.extend(analysis.check(workspace_scope(&rel)));
+        } else {
+            // Directive hygiene still applies everywhere.
+            diags.extend(analysis.check(FileScope::default()));
+        }
+
+        // R4 bookkeeping for the audited crates.
+        if let Some(krate) = R4_CRATES
+            .iter()
+            .find(|c| rel_str.starts_with(&format!("crates/{c}/")))
+        {
+            let slot = r4.entry((*krate).to_string()).or_default();
+            if rel_str.contains("/src/") && !is_test_file {
+                slot.0.extend(entry_points(&analysis));
+            }
+            slot.1.extend(roundtrip_tests(&analysis));
+            allows.push(analysis);
+        }
+    }
+
+    for (entries, tests) in r4.values() {
+        diags.extend(check_r4(entries, tests, |file, line| {
+            allows.iter().any(|a| {
+                a.path == file
+                    && a.lexed
+                        .allows
+                        .get(&line)
+                        .is_some_and(|r| r.contains(&Rule::R4))
+            })
+        }));
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+/// Lints an explicit file list with every rule enabled (fixture mode).
+/// R4 treats the given set as one crate: entry points anywhere in the set
+/// must be covered by round-trip tests anywhere in the set.
+pub fn lint_files(paths: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut analyses = Vec::new();
+    for path in paths {
+        let src = std::fs::read_to_string(path)?;
+        analyses.push(FileAnalysis::new(path.clone(), src.as_str()));
+    }
+    let mut entries = Vec::new();
+    let mut tests = Vec::new();
+    for analysis in &analyses {
+        diags.extend(analysis.check(FileScope::all()));
+        entries.extend(entry_points(analysis));
+        tests.extend(roundtrip_tests(analysis));
+    }
+    diags.extend(check_r4(&entries, &tests, |file, line| {
+        analyses.iter().any(|a| {
+            a.path == file
+                && a.lexed
+                    .allows
+                    .get(&line)
+                    .is_some_and(|r| r.contains(&Rule::R4))
+        })
+    }));
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            // `fixtures` directories hold linter test data with deliberate
+            // violations — they are inputs for `lint_files`, not source.
+            if name == "target" || name == "vendor" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_is_path_derived() {
+        let s = workspace_scope(Path::new("crates/wire/src/message.rs"));
+        assert!(s.hot_path && s.wire);
+        let s = workspace_scope(Path::new("crates/replay/src/engine.rs"));
+        assert!(s.hot_path && !s.wire);
+        let s = workspace_scope(Path::new("crates/replay/src/plan.rs"));
+        assert!(!s.hot_path);
+        let s = workspace_scope(Path::new("crates/netsim/src/tcp.rs"));
+        assert!(s.hot_path);
+        let s = workspace_scope(Path::new("crates/metrics/src/report.rs"));
+        assert!(!s.hot_path && !s.wire && s.async_blocking);
+    }
+}

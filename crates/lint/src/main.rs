@@ -1,0 +1,81 @@
+//! CLI for `ldp-lint`.
+//!
+//! ```text
+//! ldp-lint --workspace [--root <dir>]   # lint the whole workspace
+//! ldp-lint <file.rs>...                 # lint explicit files, all rules on
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: ldp-lint --workspace [--root <dir>]\n       ldp-lint <file.rs>..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag `{arg}`")),
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let result = if workspace {
+        if !files.is_empty() {
+            return usage("--workspace and explicit files are mutually exclusive");
+        }
+        let root = root.unwrap_or_else(|| PathBuf::from("."));
+        if !root.join("crates").is_dir() {
+            eprintln!(
+                "ldp-lint: `{}` does not look like the workspace root (no crates/); \
+                 run from the repo root or pass --root",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+        ldp_lint::lint_workspace(&root)
+    } else if files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    } else {
+        ldp_lint::lint_files(&files)
+    };
+
+    match result {
+        Ok(diags) if diags.is_empty() => {
+            println!("ldp-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("ldp-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ldp-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!(
+        "ldp-lint: {why}\nusage: ldp-lint --workspace [--root <dir>] | ldp-lint <file.rs>..."
+    );
+    ExitCode::from(2)
+}

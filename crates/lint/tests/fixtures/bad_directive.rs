@@ -1,0 +1,10 @@
+// Directive-hygiene fixture: malformed escape hatches are themselves errors.
+pub fn f(v: Option<u8>) -> u8 {
+    // ldp-lint: allow(r1)
+    v.unwrap_or(0)
+}
+
+pub fn g(v: Option<u8>) -> u8 {
+    // ldp-lint: allow(bogus-rule) -- reason present but rule unknown
+    v.unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+// R1 fixture: a justified escape hatch suppresses the diagnostic.
+pub fn hot(v: Option<u8>) -> u8 {
+    // ldp-lint: allow(r1) -- invariant: caller checked is_some() one line up
+    v.unwrap()
+}
+
+pub fn hot_trailing(v: Option<u8>) -> u8 {
+    v.unwrap() // ldp-lint: allow(hot-path-panic) -- fixture exercises the alias form
+}

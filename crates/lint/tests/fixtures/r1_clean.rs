@@ -1,0 +1,14 @@
+// R1 fixture: hot-path code with typed errors, panics only under #[cfg(test)].
+pub fn hot(v: Option<u8>) -> Result<u8, &'static str> {
+    v.ok_or("missing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(hot(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+// R1 fixture: panicking calls in (what fixture mode treats as) hot-path code.
+pub fn hot(v: Option<u8>) -> u8 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 1 {
+        unreachable!();
+    }
+    a + b
+}

@@ -1,0 +1,4 @@
+// R2 fixture: deliberate masked truncation with a reasoned allow.
+pub fn opcode_bits(flags: u16) -> u8 {
+    (flags >> 11 & 0xF) as u8 // ldp-lint: allow(r2) -- masked to 4 bits
+}

@@ -1,0 +1,9 @@
+// R2 fixture: checked conversions only; widening `as` to u64/usize is fine.
+pub fn encode_len(len: usize) -> Result<[u8; 2], &'static str> {
+    let len = u16::try_from(len).map_err(|_| "too long")?;
+    Ok(len.to_be_bytes())
+}
+
+pub fn widen(v: u16) -> u64 {
+    v as u64
+}

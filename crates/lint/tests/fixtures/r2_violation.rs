@@ -1,0 +1,8 @@
+// R2 fixture: lossy narrowing casts in wire-style code.
+pub fn encode_len(len: usize) -> [u8; 2] {
+    (len as u16).to_be_bytes()
+}
+
+pub fn low_byte(v: u32) -> u8 {
+    v as u8
+}

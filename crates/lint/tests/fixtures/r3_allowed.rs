@@ -1,0 +1,5 @@
+// R3 fixture: suppressed blocking call (e.g. known-tiny config read at startup).
+pub async fn boot() {
+    // ldp-lint: allow(r3) -- one-time startup read before serving begins
+    let _ = std::fs::read_to_string("conf.toml");
+}

@@ -1,0 +1,9 @@
+// R3 fixture: blocking calls are fine in sync fns; async bodies stay async.
+pub fn sync_setup() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = std::fs::read_to_string("/etc/hosts");
+}
+
+pub async fn handler(tx: tokio::sync::mpsc::Sender<u8>) {
+    let _ = tx.send(1).await;
+}

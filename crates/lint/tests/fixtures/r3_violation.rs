@@ -1,0 +1,11 @@
+// R3 fixture: blocking calls inside async bodies.
+pub async fn handler() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _ = std::fs::read_to_string("/etc/hosts");
+}
+
+pub fn spawner() {
+    let _fut = async move {
+        let _ = std::net::TcpStream::connect("127.0.0.1:53");
+    };
+}

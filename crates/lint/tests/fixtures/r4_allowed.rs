@@ -1,0 +1,6 @@
+// R4 fixture: entry point with no round-trip test but a reasoned allow
+// (e.g. a parser for a one-way format with no encoder to round-trip against).
+// ldp-lint: allow(r4) -- one-way format: nothing encodes this, only decoding exists
+pub fn parse(input: &str) -> Result<u32, &'static str> {
+    input.trim().parse().map_err(|_| "not a number")
+}

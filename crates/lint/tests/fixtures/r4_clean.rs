@@ -1,0 +1,23 @@
+// R4 fixture: the entry point is covered by a round-trip test in-file.
+pub fn from_bytes(bytes: &[u8]) -> Result<u16, &'static str> {
+    if bytes.len() < 2 {
+        return Err("short");
+    }
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}
+
+pub fn to_bytes(v: u16) -> [u8; 2] {
+    v.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_from_bytes() {
+        for v in [0u16, 1, 0xBEEF, u16::MAX] {
+            assert_eq!(from_bytes(&to_bytes(v)).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// R4 fixture: a public parser entry point with no round-trip test anywhere.
+pub fn from_bytes(bytes: &[u8]) -> Result<u16, &'static str> {
+    if bytes.len() < 2 {
+        return Err("short");
+    }
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}

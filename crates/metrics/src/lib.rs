@@ -13,6 +13,8 @@
 //! [`report`] renders results as aligned text tables (the form the
 //! experiment binaries print) and JSON (for downstream plotting).
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod cdf;
 pub mod report;
 pub mod series;

@@ -25,6 +25,8 @@
 //! identical event orders and measurements — the repeatability requirement
 //! of §2.1.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod loss;
 pub mod packet;
 pub mod quic;
@@ -35,8 +37,8 @@ pub mod tls;
 
 pub use loss::LossModel;
 pub use packet::{Packet, Payload, TcpWire};
+pub use quic::{QuicFrame, QuicServerSessions};
 pub use sim::{Action, Ctx, Node, NodeEvent, NodeId, Sim};
 pub use tcp::{ConnKey, TcpConfig, TcpEvent, TcpSnapshot, TcpStack, TcpState};
 pub use time::{SimDuration, SimTime};
-pub use quic::{QuicFrame, QuicServerSessions};
 pub use tls::{TlsEndpoint, TlsOutput, TlsRole};

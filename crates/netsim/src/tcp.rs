@@ -203,7 +203,7 @@ impl TcpStack {
     /// completes (or within a Nagle window) are buffered.
     pub fn send(&mut self, ctx: &mut Ctx, key: ConnKey, bytes: &[u8]) {
         let nagle = self.config.nagle_delay;
-        let mut arm_flush = false;
+        let mut arm_flush = None;
         {
             let Some(conn) = self.conns.get_mut(&key) else {
                 return;
@@ -214,11 +214,11 @@ impl TcpStack {
                     conn.pending.extend_from_slice(bytes);
                 }
                 TcpState::Established => match nagle {
-                    Some(_) => {
+                    Some(delay) => {
                         conn.pending.extend_from_slice(bytes);
                         if !conn.flush_pending {
                             conn.flush_pending = true;
-                            arm_flush = true;
+                            arm_flush = Some(delay);
                         }
                     }
                     None => {
@@ -234,9 +234,9 @@ impl TcpStack {
                 TcpState::FinWait | TcpState::TimeWait => {}
             }
         }
-        if arm_flush {
+        if let Some(delay) = arm_flush {
             let token = self.arm_timer(key, TimerKind::NagleFlush);
-            ctx.set_timer(nagle.expect("arm_flush implies nagle"), token);
+            ctx.set_timer(delay, token);
         }
     }
 
@@ -453,8 +453,7 @@ impl TcpStack {
             TimerKind::IdleCheck { generation } => {
                 let timed_out = match self.conns.get(&key) {
                     Some(conn) => {
-                        conn.state == TcpState::Established
-                            && conn.idle_generation == generation
+                        conn.state == TcpState::Established && conn.idle_generation == generation
                     }
                     None => false,
                 };
@@ -654,9 +653,15 @@ mod tests {
         };
         let (mut sim, c, _s) = build(cfg, TcpConfig::default(), 10, true);
         sim.run_until(SimTime::from_secs(30));
-        assert_eq!(sim.node_as::<Client>(c).unwrap().stack.snapshot().time_wait, 1);
+        assert_eq!(
+            sim.node_as::<Client>(c).unwrap().stack.snapshot().time_wait,
+            1
+        );
         sim.run_until(SimTime::from_secs(120));
-        assert_eq!(sim.node_as::<Client>(c).unwrap().stack.snapshot().time_wait, 0);
+        assert_eq!(
+            sim.node_as::<Client>(c).unwrap().stack.snapshot().time_wait,
+            0
+        );
         assert_eq!(sim.node_as::<Client>(c).unwrap().stack.conn_count(), 0);
     }
 
@@ -668,7 +673,14 @@ mod tests {
         };
         let (mut sim, c, s) = build(TcpConfig::default(), server_cfg, 10, false);
         sim.run_until(SimTime::from_secs(10));
-        assert_eq!(sim.node_as::<Server>(s).unwrap().stack.snapshot().established, 1);
+        assert_eq!(
+            sim.node_as::<Server>(s)
+                .unwrap()
+                .stack
+                .snapshot()
+                .established,
+            1
+        );
         // After the 20s idle window the server closes; it becomes the
         // active closer and holds TIME_WAIT (as the paper's server does).
         sim.run_until(SimTime::from_secs(50));
@@ -737,7 +749,11 @@ mod tests {
         sim.set_pair_delay(c, s, SimDuration::from_millis(1));
         sim.run_until(SimTime::from_secs(100));
         let server: &Server = sim.node_as(s).unwrap();
-        assert_eq!(server.stack.snapshot().established, 1, "kept alive by traffic");
+        assert_eq!(
+            server.stack.snapshot().established,
+            1,
+            "kept alive by traffic"
+        );
         assert_eq!(server.stack.snapshot().idle_closed, 0);
     }
 
@@ -855,7 +871,10 @@ mod tests {
         let mut client_ids = Vec::new();
         for i in 0..3 {
             let id = sim.add_node(Box::new(Client {
-                stack: TcpStack::new(format!("10.0.0.{}", i + 1).parse().unwrap(), TcpConfig::default()),
+                stack: TcpStack::new(
+                    format!("10.0.0.{}", i + 1).parse().unwrap(),
+                    TcpConfig::default(),
+                ),
                 target: sa("10.0.9.9:53"),
                 payload: b"q".to_vec(),
                 close_after_reply: false,

@@ -28,6 +28,8 @@
 //! [`rewrite_response`], tested in isolation. (IP checksum fixup, which the
 //! real proxies must do, has no analogue in the simulator.)
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 use std::net::{IpAddr, SocketAddr};
 
 use ldp_netsim::{Ctx, Node, NodeEvent, Packet};
@@ -147,7 +149,11 @@ mod tests {
         let q = Packet::udp(sa("10.0.0.2:40000"), sa("192.5.6.30:53"), vec![1]);
         let out = rewrite_query(&q, ip("10.0.0.3"));
         assert_eq!(out.src, sa("192.5.6.30:40000"), "OQDA becomes source");
-        assert_eq!(out.dst, sa("10.0.0.3:53"), "meta server becomes destination");
+        assert_eq!(
+            out.dst,
+            sa("10.0.0.3:53"),
+            "meta server becomes destination"
+        );
         assert_eq!(out.payload, Payload::Udp(vec![1]), "payload untouched");
     }
 
@@ -157,7 +163,11 @@ mod tests {
         let r = Packet::udp(sa("10.0.0.3:53"), sa("192.5.6.30:40000"), vec![2]);
         let out = rewrite_response(&r, ip("10.0.0.2"));
         assert_eq!(out.src, sa("192.5.6.30:53"), "reply appears from OQDA:53");
-        assert_eq!(out.dst, sa("10.0.0.2:40000"), "back to the recursive's port");
+        assert_eq!(
+            out.dst,
+            sa("10.0.0.2:40000"),
+            "back to the recursive's port"
+        );
     }
 
     #[test]
@@ -187,7 +197,11 @@ mod tests {
             Captured::Response
         );
         assert_eq!(
-            classify(&Packet::udp(sa("10.0.0.3:9999"), sa("1.2.3.4:8888"), vec![])),
+            classify(&Packet::udp(
+                sa("10.0.0.3:9999"),
+                sa("1.2.3.4:8888"),
+                vec![]
+            )),
             Captured::Other
         );
     }

@@ -183,7 +183,10 @@ impl LiveReplay {
         let first = match records.next() {
             None => return self.collect(Vec::new()).await,
             Some(Err(e)) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
             }
             Some(Ok(rec)) => rec,
         };
@@ -241,7 +244,10 @@ impl LiveReplay {
     ) -> std::io::Result<ReplayReport> {
         let mut outcomes = Vec::new();
         for h in handles {
-            outcomes.extend(h.await.expect("querier task panicked")?);
+            let joined = h
+                .await
+                .map_err(|e| std::io::Error::other(format!("querier task failed: {e}")))?;
+            outcomes.extend(joined?);
         }
         let send_duration_us = outcomes
             .iter()
@@ -280,10 +286,7 @@ struct QuerierTask {
 }
 
 impl QuerierTask {
-    async fn run(
-        self,
-        mut rx: mpsc::Receiver<TraceRecord>,
-    ) -> std::io::Result<Vec<ReplayOutcome>> {
+    async fn run(self, mut rx: mpsc::Receiver<TraceRecord>) -> std::io::Result<Vec<ReplayOutcome>> {
         let mut udp: Vec<(Arc<UdpSocket>, Pending)> = Vec::new();
         let mut udp_by_source: HashMap<IpAddr, usize> = HashMap::new();
         let mut tcp: HashMap<IpAddr, TcpConn> = HashMap::new();
@@ -292,11 +295,25 @@ impl QuerierTask {
         let latencies: Latencies = Arc::new(Mutex::new(Vec::new()));
         let mut meta: Vec<(u64, u64, IpAddr, Protocol)> = Vec::new();
         let mut next_id: u16 = 0;
+        #[cfg(debug_assertions)]
+        let mut last_deadline_us: u64 = 0;
 
         while let Some(mut rec) = rx.recv().await {
             // Pace the send.
             let now_us = self.epoch.elapsed().as_micros() as u64;
             if let ReplayMode::Timed { .. } = self.mode {
+                // Invariant: the plan feeds each querier records in trace
+                // order, so real-clock deadlines are monotone — a regression
+                // here would silently reorder the replayed stream.
+                #[cfg(debug_assertions)]
+                {
+                    let deadline = self.clock.target_real_us(rec.time_us);
+                    debug_assert!(
+                        deadline >= last_deadline_us,
+                        "deadline went backwards: {deadline} < {last_deadline_us}"
+                    );
+                    last_deadline_us = deadline;
+                }
                 if let Some(delay) = self.clock.delay_us(rec.time_us, now_us) {
                     sleep_until_precise(Instant::now() + Duration::from_micros(delay)).await;
                 }
@@ -321,8 +338,7 @@ impl QuerierTask {
                         Some(&s) => s,
                         None => {
                             let s = if udp.len() < self.max_sockets {
-                                let socket =
-                                    Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+                                let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
                                 let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
                                 recv_tasks.push(tokio::spawn(recv_udp(
                                     socket.clone(),
@@ -347,17 +363,17 @@ impl QuerierTask {
                     // Live mode carries TLS/QUIC as TCP: handshake
                     // emulation is a simulator concern; live TCP still
                     // exercises framing and connection reuse.
-                    let conn = match tcp.get_mut(&rec.src) {
-                        Some(c) if !c.dead => c,
-                        _ => {
-                            match TcpConn::open(self.server, latencies.clone()).await {
-                                Ok(c) => {
-                                    tcp.insert(rec.src, c);
-                                    tcp.get_mut(&rec.src).expect("just inserted")
-                                }
-                                Err(_) => continue,
+                    let needs_open = tcp.get(&rec.src).is_none_or(|c| c.dead);
+                    if needs_open {
+                        match TcpConn::open(self.server, latencies.clone()).await {
+                            Ok(c) => {
+                                tcp.insert(rec.src, c);
                             }
+                            Err(_) => continue,
                         }
+                    }
+                    let Some(conn) = tcp.get_mut(&rec.src) else {
+                        continue;
                     };
                     conn.pending.lock().insert(next_id, (outcome_idx, sent_at));
                     if conn.send(&wire).await.is_err() {
@@ -385,13 +401,15 @@ impl QuerierTask {
         Ok(meta
             .into_iter()
             .enumerate()
-            .map(|(i, (trace_offset_us, sent_offset_us, src, protocol))| ReplayOutcome {
-                trace_offset_us,
-                sent_offset_us,
-                latency_us: latencies.get(i).copied().flatten(),
-                src,
-                protocol,
-            })
+            .map(
+                |(i, (trace_offset_us, sent_offset_us, src, protocol))| ReplayOutcome {
+                    trace_offset_us,
+                    sent_offset_us,
+                    latency_us: latencies.get(i).copied().flatten(),
+                    src,
+                    protocol,
+                },
+            )
             .collect())
     }
 }
@@ -586,8 +604,7 @@ mod tests {
             .unwrap();
         let records = trace(300, 1_000, Protocol::Udp);
         let bytes = ldp_trace::stream::to_bytes(&records).unwrap();
-        let reader =
-            ldp_trace::stream::StreamReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let reader = ldp_trace::stream::StreamReader::new(std::io::Cursor::new(bytes)).unwrap();
         let mut replay = LiveReplay::new(server.addr);
         replay.mode = ReplayMode::Fast;
         replay.drain = Duration::from_millis(800);

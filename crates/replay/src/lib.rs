@@ -19,6 +19,8 @@
 //!   protocol experiments (controlled RTT, TCP/TLS connection reuse,
 //!   latency distributions).
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod engine;
 pub mod plan;
 pub mod simclient;

@@ -37,6 +37,12 @@ impl ReplayClock {
 
     /// Scales replay speed: delays are multiplied by `factor`.
     pub fn with_speed(mut self, factor: f64) -> ReplayClock {
+        // Deadlines must stay monotone in trace time: a negative or NaN
+        // factor would reorder sends relative to the trace.
+        debug_assert!(
+            factor.is_finite() && factor >= 0.0,
+            "replay speed must be finite and non-negative, got {factor}"
+        );
         self.speed = factor;
         self
     }

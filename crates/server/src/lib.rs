@@ -14,6 +14,8 @@
 //! * [`live`] — a tokio-based authoritative server on real sockets for the
 //!   loopback replay-fidelity experiments (§4).
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod auth;
 pub mod cache;
 pub mod live;

@@ -15,6 +15,8 @@
 //! transport, set the DO bit on a fraction of queries, rewrite names, …)
 //! applied while converting between formats, or live during replay.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod capture;
 pub mod mutate;
 pub mod pcap;
@@ -35,7 +37,10 @@ pub enum TraceError {
     Io(std::io::Error),
     Wire(ldp_wire::WireError),
     /// Malformed trace file content.
-    Format { offset: u64, reason: String },
+    Format {
+        offset: u64,
+        reason: String,
+    },
 }
 
 impl fmt::Display for TraceError {

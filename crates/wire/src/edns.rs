@@ -59,27 +59,26 @@ impl Edns {
         w.put_name(&Name::root())?;
         w.put_u16(RrType::Opt.code());
         w.put_u16(self.udp_payload_size);
-        let ttl: u32 = ((self.extended_rcode as u32) << 24)
-            | ((self.version as u32) << 16)
-            | ((self.dnssec_ok as u32) << 15)
-            | (self.z_flags as u32 & 0x7FFF);
+        let ttl: u32 = (u32::from(self.extended_rcode) << 24)
+            | (u32::from(self.version) << 16)
+            | (u32::from(self.dnssec_ok) << 15)
+            | (u32::from(self.z_flags) & 0x7FFF);
         w.put_u32(ttl);
         let len_at = w.len();
         w.put_u16(0);
         let start = w.len();
         for opt in &self.options {
             w.put_u16(opt.code);
-            if opt.data.len() > u16::MAX as usize {
-                return Err(WireError::MessageTooLong(opt.data.len()));
-            }
-            w.put_u16(opt.data.len() as u16);
+            let opt_len = u16::try_from(opt.data.len())
+                .map_err(|_| WireError::MessageTooLong(opt.data.len()))?;
+            w.put_u16(opt_len);
             w.put_slice(&opt.data);
         }
         let rdlen = w.len() - start;
-        if rdlen > u16::MAX as usize {
-            return Err(WireError::MessageTooLong(rdlen));
-        }
-        w.patch_u16(len_at, rdlen as u16);
+        w.patch_u16(
+            len_at,
+            u16::try_from(rdlen).map_err(|_| WireError::MessageTooLong(rdlen))?,
+        );
         Ok(())
     }
 
@@ -93,7 +92,9 @@ impl Edns {
         let rdlen = r.read_u16("opt rdlength")? as usize;
         let end = r.position() + rdlen;
         if r.remaining() < rdlen {
-            return Err(WireError::Truncated { context: "opt rdata" });
+            return Err(WireError::Truncated {
+                context: "opt rdata",
+            });
         }
         let mut options = Vec::new();
         while r.position() < end {
@@ -111,21 +112,17 @@ impl Edns {
         }
         Ok(Edns {
             udp_payload_size: class_field,
-            extended_rcode: (ttl_field >> 24) as u8,
-            version: (ttl_field >> 16) as u8,
+            extended_rcode: (ttl_field >> 24) as u8, // ldp-lint: allow(r2) -- high byte of TTL field
+            version: (ttl_field >> 16) as u8, // ldp-lint: allow(r2) -- byte 2 of TTL field, truncation intended
             dnssec_ok: (ttl_field >> 15) & 1 == 1,
-            z_flags: (ttl_field & 0x7FFF) as u16,
+            z_flags: (ttl_field & 0x7FFF) as u16, // ldp-lint: allow(r2) -- masked to 15 bits
             options,
         })
     }
 
     /// Wire size of the encoded OPT record.
     pub fn wire_size(&self) -> usize {
-        11 + self
-            .options
-            .iter()
-            .map(|o| 4 + o.data.len())
-            .sum::<usize>()
+        11 + self.options.iter().map(|o| 4 + o.data.len()).sum::<usize>()
     }
 }
 

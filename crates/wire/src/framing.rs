@@ -14,11 +14,9 @@ pub const MAX_FRAME: usize = u16::MAX as usize;
 
 /// Prepends the 2-byte length prefix to a DNS message.
 pub fn frame_message(msg: &[u8]) -> Result<Vec<u8>, WireError> {
-    if msg.len() > MAX_FRAME {
-        return Err(WireError::MessageTooLong(msg.len()));
-    }
+    let len = u16::try_from(msg.len()).map_err(|_| WireError::MessageTooLong(msg.len()))?;
     let mut out = Vec::with_capacity(msg.len() + 2);
-    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(msg);
     Ok(out)
 }
@@ -104,7 +102,10 @@ mod tests {
         let mut d = FrameDecoder::new();
         d.feed(&chunk);
         let frames = d.drain_frames();
-        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(
+            frames,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! used by the live tokio transports, the discrete-event simulator, and the
 //! trace readers.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod edns;
 pub mod error;
 pub mod framing;

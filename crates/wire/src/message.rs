@@ -138,29 +138,29 @@ impl Default for Header {
 
 impl Header {
     fn flags_word(&self) -> u16 {
-        (self.response as u16) << 15
-            | ((self.opcode.code() as u16) & 0xF) << 11
-            | (self.authoritative as u16) << 10
-            | (self.truncated as u16) << 9
-            | (self.recursion_desired as u16) << 8
-            | (self.recursion_available as u16) << 7
-            | (self.authentic_data as u16) << 5
-            | (self.checking_disabled as u16) << 4
-            | (self.rcode.code() as u16) & 0xF
+        u16::from(self.response) << 15
+            | (u16::from(self.opcode.code()) & 0xF) << 11
+            | u16::from(self.authoritative) << 10
+            | u16::from(self.truncated) << 9
+            | u16::from(self.recursion_desired) << 8
+            | u16::from(self.recursion_available) << 7
+            | u16::from(self.authentic_data) << 5
+            | u16::from(self.checking_disabled) << 4
+            | u16::from(self.rcode.code()) & 0xF
     }
 
     fn from_flags_word(id: u16, w: u16) -> Header {
         Header {
             id,
             response: w >> 15 & 1 == 1,
-            opcode: Opcode::from_code((w >> 11 & 0xF) as u8),
+            opcode: Opcode::from_code((w >> 11 & 0xF) as u8), // ldp-lint: allow(r2) -- masked to 4 bits
             authoritative: w >> 10 & 1 == 1,
             truncated: w >> 9 & 1 == 1,
             recursion_desired: w >> 8 & 1 == 1,
             recursion_available: w >> 7 & 1 == 1,
             authentic_data: w >> 5 & 1 == 1,
             checking_disabled: w >> 4 & 1 == 1,
-            rcode: Rcode::from_code((w & 0xF) as u8),
+            rcode: Rcode::from_code((w & 0xF) as u8), // ldp-lint: allow(r2) -- masked to 4 bits
         }
     }
 }
@@ -271,10 +271,7 @@ impl Message {
             self.additionals.len() + self.edns.is_some() as usize,
         ];
         for c in counts {
-            if c > u16::MAX as usize {
-                return Err(WireError::MessageTooLong(c));
-            }
-            w.put_u16(c as u16);
+            w.put_u16(u16::try_from(c).map_err(|_| WireError::MessageTooLong(c))?);
         }
         for q in &self.questions {
             w.put_name(&q.qname)?;
@@ -296,6 +293,15 @@ impl Message {
         if bytes.len() > u16::MAX as usize {
             return Err(WireError::MessageTooLong(bytes.len()));
         }
+        // Debug-build invariant: encoding is lossless — decoding the bytes
+        // we just produced yields this message back. Assumes canonical
+        // headers (opcode/rcode values fit their 4-bit wire fields), which
+        // every constructor in this crate maintains.
+        debug_assert_eq!(
+            Message::from_bytes(&bytes).as_ref(),
+            Ok(self),
+            "encode→decode round-trip must be lossless"
+        );
         Ok(bytes)
     }
 

@@ -83,15 +83,13 @@ impl Name {
                                 "bad \\ddd escape in {text:?}"
                             )));
                         }
-                        let v = (bytes[i + 1] - b'0') as u32 * 100
-                            + (bytes[i + 2] - b'0') as u32 * 10
-                            + (bytes[i + 3] - b'0') as u32;
-                        if v > 255 {
-                            return Err(WireError::BadText(format!(
-                                "\\ddd escape out of range in {text:?}"
-                            )));
-                        }
-                        cur.push(v as u8);
+                        let v = u32::from(bytes[i + 1] - b'0') * 100
+                            + u32::from(bytes[i + 2] - b'0') * 10
+                            + u32::from(bytes[i + 3] - b'0');
+                        let byte = u8::try_from(v).map_err(|_| {
+                            WireError::BadText(format!("\\ddd escape out of range in {text:?}"))
+                        })?;
+                        cur.push(byte);
                         i += 4;
                     } else {
                         cur.push(c);
@@ -347,13 +345,19 @@ mod tests {
             n("example.com").prepend(b"www").unwrap(),
             n("www.example.com")
         );
-        assert_eq!(n("www").concat(&n("example.com")).unwrap(), n("www.example.com"));
+        assert_eq!(
+            n("www").concat(&n("example.com")).unwrap(),
+            n("www.example.com")
+        );
         assert_eq!(n("x").concat(&Name::root()).unwrap(), n("x"));
     }
 
     #[test]
     fn wildcards() {
-        assert_eq!(n("www.example.com").to_wildcard().unwrap(), n("*.example.com"));
+        assert_eq!(
+            n("www.example.com").to_wildcard().unwrap(),
+            n("*.example.com")
+        );
         assert!(n("*.example.com").is_wildcard());
         assert!(!n("www.example.com").is_wildcard());
         assert!(Name::root().to_wildcard().is_none());
@@ -363,9 +367,22 @@ mod tests {
     fn canonical_ordering() {
         use std::cmp::Ordering;
         // RFC 4034 §6.1 example order.
-        let order = ["example", "a.example", "yljkjljk.a.example", "z.a.example", "zabc.a.example", "z.example"];
+        let order = [
+            "example",
+            "a.example",
+            "yljkjljk.a.example",
+            "z.a.example",
+            "zabc.a.example",
+            "z.example",
+        ];
         for w in order.windows(2) {
-            assert_eq!(n(w[0]).canonical_cmp(&n(w[1])), Ordering::Less, "{} < {}", w[0], w[1]);
+            assert_eq!(
+                n(w[0]).canonical_cmp(&n(w[1])),
+                Ordering::Less,
+                "{} < {}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(Name::root().canonical_cmp(&n("com")), Ordering::Less);
     }

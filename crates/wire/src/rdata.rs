@@ -128,10 +128,9 @@ impl RData {
             }
             RData::Txt(strings) => {
                 for s in strings {
-                    if s.len() > 255 {
-                        return Err(WireError::BadText("TXT string over 255 bytes".into()));
-                    }
-                    w.put_u8(s.len() as u8);
+                    let len = u8::try_from(s.len())
+                        .map_err(|_| WireError::BadText("TXT string over 255 bytes".into()))?;
+                    w.put_u8(len);
                     w.put_slice(s);
                 }
             }
@@ -239,7 +238,9 @@ impl RData {
                 while r.position() < end {
                     let len = r.read_u8("txt length")? as usize;
                     if r.position() + len > end {
-                        return Err(WireError::Truncated { context: "txt string" });
+                        return Err(WireError::Truncated {
+                            context: "txt string",
+                        });
                     }
                     strings.push(r.read_bytes(len, "txt string")?.to_vec());
                 }
@@ -595,7 +596,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(RData::A("192.0.2.1".parse().unwrap()).to_string(), "192.0.2.1");
+        assert_eq!(
+            RData::A("192.0.2.1".parse().unwrap()).to_string(),
+            "192.0.2.1"
+        );
         let txt = RData::Txt(vec![b"a\"b".to_vec()]);
         assert_eq!(txt.to_string(), "\"a\\\"b\"");
     }

@@ -54,10 +54,10 @@ impl Record {
         let rdata_start = w.len();
         self.rdata.encode(w)?;
         let rdlen = w.len() - rdata_start;
-        if rdlen > u16::MAX as usize {
-            return Err(WireError::MessageTooLong(rdlen));
-        }
-        w.patch_u16(len_at, rdlen as u16);
+        w.patch_u16(
+            len_at,
+            u16::try_from(rdlen).map_err(|_| WireError::MessageTooLong(rdlen))?,
+        );
         Ok(())
     }
 
@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn record_roundtrip() {
-        let rec = Record::new(n("www.example.com"), 300, RData::A("192.0.2.1".parse().unwrap()));
+        let rec = Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
         let mut w = WireWriter::new();
         rec.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
@@ -120,7 +124,11 @@ mod tests {
         let recs = vec![
             Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))),
             Record::new(n("example.com"), 3600, RData::Ns(n("ns2.example.com"))),
-            Record::new(n("ns1.example.com"), 3600, RData::A("192.0.2.53".parse().unwrap())),
+            Record::new(
+                n("ns1.example.com"),
+                3600,
+                RData::A("192.0.2.53".parse().unwrap()),
+            ),
         ];
         let mut w = WireWriter::new();
         for rec in &recs {
@@ -159,7 +167,12 @@ mod tests {
 
     #[test]
     fn unknown_type_needs_with_type() {
-        let rec = Record::with_type(n("x.example"), RrType::Unknown(999), 60, RData::Unknown(vec![9, 9]));
+        let rec = Record::with_type(
+            n("x.example"),
+            RrType::Unknown(999),
+            60,
+            RData::Unknown(vec![9, 9]),
+        );
         let mut w = WireWriter::new();
         rec.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
@@ -171,7 +184,11 @@ mod tests {
 
     #[test]
     fn truncated_record_fails() {
-        let rec = Record::new(n("www.example.com"), 300, RData::A("192.0.2.1".parse().unwrap()));
+        let rec = Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
         let mut w = WireWriter::new();
         rec.encode(&mut w).unwrap();
         let bytes = w.into_bytes();

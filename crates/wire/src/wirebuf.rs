@@ -107,14 +107,23 @@ impl WireWriter {
                     self.put_u16(0xC000 | off);
                     return Ok(());
                 }
-                // Remember this suffix position for future compression.
-                if self.buf.len() < 0x4000 {
-                    self.name_offsets.insert(suffix, self.buf.len() as u16);
+                // Remember this suffix position for future compression; only
+                // offsets representable in a 14-bit pointer are usable.
+                if let Ok(off) = u16::try_from(self.buf.len()) {
+                    if off < 0x4000 {
+                        self.name_offsets.insert(suffix, off);
+                    }
                 }
             }
             let label = labels[i];
-            debug_assert!(label.len() <= 63);
-            self.put_u8(label.len() as u8);
+            // `Name` guarantees labels ≤ 63 octets; re-check here so a future
+            // unvalidated constructor cannot emit a corrupt length octet
+            // (values ≥ 64 would decode as pointers or bad label types).
+            let len = u8::try_from(label.len())
+                .ok()
+                .filter(|&l| l <= 63)
+                .ok_or(WireError::LabelTooLong(label.len()))?;
+            self.put_u8(len);
             self.put_slice(label);
         }
         self.put_u8(0);
@@ -125,7 +134,7 @@ impl WireWriter {
 fn suffix_key(labels: &[&[u8]]) -> Vec<u8> {
     let mut s = Vec::new();
     for l in labels {
-        s.push(l.len() as u8);
+        s.push(l.len() as u8); // ldp-lint: allow(r2) -- key bytes only, labels ≤63 by Name invariant
         s.extend_from_slice(l);
     }
     s
@@ -239,12 +248,13 @@ impl<'a> WireReader<'a> {
                     if pos + 1 >= self.msg.len() {
                         return Err(WireError::Truncated { context: "pointer" });
                     }
-                    let target =
-                        (((len & 0x3F) as u16) << 8 | self.msg[pos + 1] as u16) as usize;
+                    // 14-bit offset: low bits of the length octet, then the
+                    // next octet. Assembled as u16 so it can never be lossy.
+                    let target = u16::from(len & 0x3F) << 8 | u16::from(self.msg[pos + 1]);
                     // Pointers must point strictly backwards to already-seen
                     // data; forward pointers are malformed and can loop.
-                    if target >= pos {
-                        return Err(WireError::BadCompressionPointer(target as u16));
+                    if usize::from(target) >= pos {
+                        return Err(WireError::BadCompressionPointer(target));
                     }
                     hops += 1;
                     if hops > MAX_POINTER_HOPS {
@@ -254,7 +264,7 @@ impl<'a> WireReader<'a> {
                         self.pos = pos + 2;
                         cursor_done = true;
                     }
-                    pos = target;
+                    pos = usize::from(target);
                 }
                 other => return Err(WireError::BadLabelType(other)),
             }

@@ -1,0 +1,293 @@
+//! Deterministic fuzz-style round-trip tests for the wire codec.
+//!
+//! Three attack surfaces: random byte mutations of a realistic message
+//! (decoder robustness + re-encode agreement), randomly generated
+//! structured messages (encode→decode losslessness), and
+//! compression-heavy messages including ones crossing the 0x4000 pointer
+//! offset limit. The Z-bit regression (reserved header bit dropped on
+//! decode) was found by exactly this harness.
+
+use ldp_wire::edns::{Edns, EdnsOption};
+use ldp_wire::message::Message;
+use ldp_wire::name::Name;
+use ldp_wire::rdata::{RData, SoaData};
+use ldp_wire::record::Record;
+use ldp_wire::rr::RrType;
+
+/// splitmix64: tiny, deterministic, identical across build profiles.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn rand_name(r: &mut Rng) -> Name {
+    loop {
+        let n = r.below(5) as usize;
+        let labels: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = 1 + r.below(12) as usize;
+                (0..len).map(|_| r.next() as u8).collect()
+            })
+            .collect();
+        if let Ok(name) = Name::from_labels(labels) {
+            return name;
+        }
+    }
+}
+
+fn rand_rdata(r: &mut Rng) -> RData {
+    match r.below(13) {
+        0 => RData::A(std::net::Ipv4Addr::from(r.next() as u32)),
+        1 => RData::Aaaa(std::net::Ipv6Addr::from(
+            ((r.next() as u128) << 64) | r.next() as u128,
+        )),
+        2 => RData::Ns(rand_name(r)),
+        3 => RData::Cname(rand_name(r)),
+        4 => RData::Ptr(rand_name(r)),
+        5 => RData::Soa(SoaData {
+            mname: rand_name(r),
+            rname: rand_name(r),
+            serial: r.next() as u32,
+            refresh: r.next() as u32,
+            retry: r.next() as u32,
+            expire: r.next() as u32,
+            minimum: r.next() as u32,
+        }),
+        6 => RData::Mx {
+            preference: r.next() as u16,
+            exchange: rand_name(r),
+        },
+        7 => RData::Txt(
+            (0..1 + r.below(3))
+                .map(|_| (0..r.below(40)).map(|_| r.next() as u8).collect())
+                .collect(),
+        ),
+        8 => RData::Srv {
+            priority: r.next() as u16,
+            weight: r.next() as u16,
+            port: r.next() as u16,
+            target: rand_name(r),
+        },
+        9 => RData::Dnskey {
+            flags: r.next() as u16,
+            protocol: 3,
+            algorithm: 8,
+            public_key: (0..r.below(64)).map(|_| r.next() as u8).collect(),
+        },
+        10 => RData::Rrsig {
+            type_covered: RrType::from_code(r.next() as u16),
+            algorithm: 8,
+            labels: r.next() as u8,
+            original_ttl: r.next() as u32,
+            expiration: r.next() as u32,
+            inception: r.next() as u32,
+            key_tag: r.next() as u16,
+            signer: rand_name(r),
+            signature: (0..r.below(64)).map(|_| r.next() as u8).collect(),
+        },
+        11 => RData::Ds {
+            key_tag: r.next() as u16,
+            algorithm: 8,
+            digest_type: 2,
+            digest: (0..r.below(40)).map(|_| r.next() as u8).collect(),
+        },
+        _ => RData::Nsec {
+            next: rand_name(r),
+            type_bitmaps: (0..r.below(16)).map(|_| r.next() as u8).collect(),
+        },
+    }
+}
+
+/// A realistic response touching compression, EDNS, and several sections.
+fn base_message() -> Vec<u8> {
+    let mut m = Message::query(0x1234, Name::parse("www.example.com").unwrap(), RrType::A);
+    m.answers.push(Record::new(
+        Name::parse("www.example.com").unwrap(),
+        300,
+        RData::A("192.0.2.1".parse().unwrap()),
+    ));
+    m.authorities.push(Record::new(
+        Name::parse("example.com").unwrap(),
+        300,
+        RData::Soa(SoaData {
+            mname: Name::parse("ns1.example.com").unwrap(),
+            rname: Name::parse("host.example.com").unwrap(),
+            serial: 1,
+            refresh: 2,
+            retry: 3,
+            expire: 4,
+            minimum: 5,
+        }),
+    ));
+    m.additionals.push(Record::new(
+        Name::parse("ns1.example.com").unwrap(),
+        60,
+        RData::Txt(vec![b"hello world".to_vec()]),
+    ));
+    m.edns = Some(Edns::default());
+    m.to_bytes().unwrap()
+}
+
+#[test]
+fn roundtrip_under_byte_mutations() {
+    let base = base_message();
+    let mut rng = Rng(0xDEADBEEF);
+    for _ in 0..50_000 {
+        let mut bytes = base.clone();
+        for _ in 0..1 + (rng.next() % 4) as usize {
+            let i = (rng.next() as usize) % bytes.len();
+            bytes[i] = rng.next() as u8;
+        }
+        // Decoding must never panic; anything that decodes must re-encode
+        // to something that decodes back to the same message.
+        if let Ok(m) = Message::from_bytes(&bytes) {
+            if let Ok(re) = m.to_bytes() {
+                let m2 = Message::from_bytes(&re).expect("re-decode of own encoding");
+                assert_eq!(m, m2);
+            }
+        }
+        // Truncation sweep on a sample of cases.
+        if rng.next().is_multiple_of(200) {
+            for cut in 0..bytes.len() {
+                let _ = Message::from_bytes(&bytes[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_of_random_structured_messages() {
+    let mut r = Rng(42);
+    for case in 0..10_000u32 {
+        let mut m = Message::query(
+            r.next() as u16,
+            rand_name(&mut r),
+            RrType::from_code(r.next() as u16),
+        );
+        for _ in 0..r.below(4) {
+            m.answers.push(Record::new(
+                rand_name(&mut r),
+                r.next() as u32,
+                rand_rdata(&mut r),
+            ));
+        }
+        for _ in 0..r.below(3) {
+            m.authorities.push(Record::new(
+                rand_name(&mut r),
+                r.next() as u32,
+                rand_rdata(&mut r),
+            ));
+        }
+        for _ in 0..r.below(3) {
+            m.additionals.push(Record::new(
+                rand_name(&mut r),
+                r.next() as u32,
+                rand_rdata(&mut r),
+            ));
+        }
+        if r.below(2) == 0 {
+            m.edns = Some(Edns {
+                udp_payload_size: r.next() as u16,
+                extended_rcode: r.next() as u8,
+                version: 0,
+                dnssec_ok: r.below(2) == 0,
+                z_flags: (r.next() as u16) & 0x7FFF,
+                options: (0..r.below(3))
+                    .map(|_| EdnsOption {
+                        code: r.next() as u16,
+                        data: (0..r.below(20)).map(|_| r.next() as u8).collect(),
+                    })
+                    .collect(),
+            });
+        }
+        let bytes = m
+            .to_bytes()
+            .unwrap_or_else(|e| panic!("case {case}: encode: {e}"));
+        let m2 = Message::from_bytes(&bytes).unwrap_or_else(|e| panic!("case {case}: decode: {e}"));
+        assert_eq!(m, m2, "case {case}");
+
+        // Name text form must round-trip too (escapes for dots,
+        // backslashes, and non-printable bytes).
+        let n = rand_name(&mut r);
+        let reparsed = Name::parse(&n.to_string())
+            .unwrap_or_else(|e| panic!("case {case}: reparse of {n}: {e}"));
+        assert_eq!(n, reparsed, "case {case}: name text roundtrip");
+    }
+}
+
+#[test]
+fn roundtrip_compression_heavy() {
+    let mut names = Vec::new();
+    for base in [
+        "example.com",
+        "sub.example.com",
+        "a.b.sub.example.com",
+        "other.net",
+        "deep.other.net",
+    ] {
+        names.push(Name::parse(base).unwrap());
+    }
+    for i in 0..20 {
+        names.push(Name::parse(&format!("h{i}.example.com")).unwrap());
+        names.push(Name::parse(&format!("x{i}.y{i}.other.net")).unwrap());
+    }
+    let mut r = Rng(7);
+    for case in 0..2_000u32 {
+        let pick = |r: &mut Rng| names[r.below(names.len() as u64) as usize].clone();
+        let mut m = Message::query(r.next() as u16, pick(&mut r), RrType::A);
+        for _ in 0..2 + r.below(30) {
+            let rd = match r.below(4) {
+                0 => RData::Ns(pick(&mut r)),
+                1 => RData::Cname(pick(&mut r)),
+                2 => RData::Mx {
+                    preference: r.next() as u16,
+                    exchange: pick(&mut r),
+                },
+                _ => RData::A(std::net::Ipv4Addr::from(r.next() as u32)),
+            };
+            m.answers
+                .push(Record::new(pick(&mut r), r.next() as u32, rd));
+        }
+        let bytes = m
+            .to_bytes()
+            .unwrap_or_else(|e| panic!("case {case}: encode: {e}"));
+        let m2 = Message::from_bytes(&bytes).unwrap_or_else(|e| panic!("case {case}: decode: {e}"));
+        assert_eq!(m, m2, "case {case}");
+    }
+}
+
+#[test]
+fn roundtrip_across_pointer_offset_limit() {
+    // Suffixes first seen past offset 0x4000 cannot be compression targets;
+    // the writer must fall back to verbatim labels and still round-trip.
+    let mut m = Message::query(1, Name::parse("start.example.com").unwrap(), RrType::A);
+    for i in 0..80 {
+        m.answers.push(Record::new(
+            Name::parse(&format!("pad{i}.example.com")).unwrap(),
+            60,
+            RData::Txt(vec![vec![b'x'; 250]]),
+        ));
+    }
+    for i in 0..40 {
+        m.answers.push(Record::new(
+            Name::parse(&format!("n{i}.late.zone.test")).unwrap(),
+            60,
+            RData::Ns(Name::parse(&format!("ns{i}.late.zone.test")).unwrap()),
+        ));
+    }
+    let bytes = m.to_bytes().expect("encode");
+    assert!(bytes.len() > 0x4000, "must cross the pointer boundary");
+    let m2 = Message::from_bytes(&bytes).expect("decode");
+    assert_eq!(m, m2);
+}

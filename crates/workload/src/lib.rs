@@ -18,6 +18,8 @@
 //! delegations) that answers root-trace replays, replacing the real root
 //! zone file the paper used.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod broot;
 pub mod names;
 pub mod synthetic;

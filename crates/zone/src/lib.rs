@@ -15,6 +15,8 @@
 //! * [`dnssec`] — synthetic zone signing with configurable ZSK sizes for the
 //!   DNSSEC what-if experiments (§5.1).
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub mod dnssec;
 pub mod lookup;
 pub mod master;

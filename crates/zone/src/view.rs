@@ -83,7 +83,26 @@ impl ViewTable {
         qtype: RrType,
         dnssec_ok: bool,
     ) -> Option<(Arc<Zone>, LookupOutcome)> {
-        self.select(client)?.lookup(qname, qtype, dnssec_ok)
+        let (zone, outcome) = self.select(client)?.lookup(qname, qtype, dnssec_ok)?;
+        // Referral consistency: a delegation handed out by this view must
+        // point at a cut inside the serving zone, with the qname under the
+        // cut — otherwise the meta-server would send resolvers sideways out
+        // of the hierarchy the view table encodes (§2.4).
+        #[cfg(debug_assertions)]
+        if let LookupOutcome::Delegation(r) = &outcome {
+            debug_assert!(
+                r.cut.is_subdomain_of(zone.origin()) && r.cut != *zone.origin(),
+                "delegation cut {} not strictly below zone {}",
+                r.cut,
+                zone.origin()
+            );
+            debug_assert!(
+                qname.is_subdomain_of(&r.cut),
+                "qname {qname} not under delegation cut {}",
+                r.cut
+            );
+        }
+        Some((zone, outcome))
     }
 
     /// Builds a view table from (nameserver address → zone) pairs, the
@@ -124,21 +143,42 @@ mod tests {
         let sld_addr = ip("192.0.2.53"); // ns1.example.com
 
         let mut root = Zone::with_fake_soa(Name::root());
-        root.add(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
-        root.add(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+        root.add(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ))
+        .unwrap();
+        root.add(Record::new(
+            n("a.gtld-servers.net"),
+            172800,
+            RData::A("192.5.6.30".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut com = Zone::with_fake_soa(n("com"));
-        com.add(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com")))).unwrap();
-        com.add(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap()))).unwrap();
+        com.add(Record::new(
+            n("example.com"),
+            172800,
+            RData::Ns(n("ns1.example.com")),
+        ))
+        .unwrap();
+        com.add(Record::new(
+            n("ns1.example.com"),
+            172800,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .unwrap();
 
         let mut sld = Zone::with_fake_soa(n("example.com"));
-        sld.add(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+        sld.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ))
+        .unwrap();
 
-        ViewTable::from_nameserver_map(vec![
-            (root_addr, root),
-            (com_addr, com),
-            (sld_addr, sld),
-        ])
+        ViewTable::from_nameserver_map(vec![(root_addr, root), (com_addr, com), (sld_addr, sld)])
     }
 
     #[test]
@@ -146,19 +186,25 @@ mod tests {
         let table = hierarchy_table();
         let q = n("www.example.com");
 
-        let (_, from_root) = table.lookup(ip("198.41.0.4"), &q, RrType::A, false).unwrap();
+        let (_, from_root) = table
+            .lookup(ip("198.41.0.4"), &q, RrType::A, false)
+            .unwrap();
         match from_root {
             LookupOutcome::Delegation(r) => assert_eq!(r.cut, n("com")),
             other => panic!("root view should refer to com, got {other:?}"),
         }
 
-        let (_, from_com) = table.lookup(ip("192.5.6.30"), &q, RrType::A, false).unwrap();
+        let (_, from_com) = table
+            .lookup(ip("192.5.6.30"), &q, RrType::A, false)
+            .unwrap();
         match from_com {
             LookupOutcome::Delegation(r) => assert_eq!(r.cut, n("example.com")),
             other => panic!("com view should refer to example.com, got {other:?}"),
         }
 
-        let (_, from_sld) = table.lookup(ip("192.0.2.53"), &q, RrType::A, false).unwrap();
+        let (_, from_sld) = table
+            .lookup(ip("192.0.2.53"), &q, RrType::A, false)
+            .unwrap();
         assert!(matches!(from_sld, LookupOutcome::Answer { .. }));
     }
 

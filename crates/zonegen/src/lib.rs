@@ -21,6 +21,8 @@
 //!    yielding the input for the split-horizon [`ViewTable`] that the
 //!    meta-DNS-server serves.
 
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
@@ -82,7 +84,10 @@ impl BuiltZones {
                 let stem = if z.origin().is_root() {
                     "root".to_string()
                 } else {
-                    z.origin().to_string().trim_end_matches('.').replace('.', "_")
+                    z.origin()
+                        .to_string()
+                        .trim_end_matches('.')
+                        .replace('.', "_")
                 };
                 (format!("{stem}.zone"), ldp_zone::master::serialize_zone(z))
             })
@@ -160,10 +165,7 @@ impl ZoneConstructor {
     }
 
     fn note_addr(&mut self, name: &Name, addr: IpAddr) {
-        self.ns_addrs
-            .entry(name.clone())
-            .or_default()
-            .insert(addr);
+        self.ns_addrs.entry(name.clone()).or_default().insert(addr);
     }
 
     /// The set of zone origins: every NS owner, plus the root when seen.
@@ -409,26 +411,58 @@ mod tests {
         let mut from_root = Message::default();
         from_root.header.response = true;
         from_root.questions = vec![ldp_wire::Question::new(n("www.example.com"), RrType::A)];
-        from_root.authorities.push(Record::new(n("com"), 172800, RData::Ns(n("a.gtld-servers.net"))));
-        from_root.additionals.push(Record::new(n("a.gtld-servers.net"), 172800, RData::A("192.5.6.30".parse().unwrap())));
+        from_root.authorities.push(Record::new(
+            n("com"),
+            172800,
+            RData::Ns(n("a.gtld-servers.net")),
+        ));
+        from_root.additionals.push(Record::new(
+            n("a.gtld-servers.net"),
+            172800,
+            RData::A("192.5.6.30".parse().unwrap()),
+        ));
         // Root apex NS so the root zone is discovered as an origin.
-        from_root.authorities.push(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net"))));
-        from_root.additionals.push(Record::new(n("a.root-servers.net"), 518400, RData::A("198.41.0.4".parse().unwrap())));
+        from_root.authorities.push(Record::new(
+            Name::root(),
+            518400,
+            RData::Ns(n("a.root-servers.net")),
+        ));
+        from_root.additionals.push(Record::new(
+            n("a.root-servers.net"),
+            518400,
+            RData::A("198.41.0.4".parse().unwrap()),
+        ));
         c.ingest_response(ip("198.41.0.4"), &from_root);
 
         // com's referral to example.com.
         let mut from_com = Message::default();
         from_com.header.response = true;
-        from_com.authorities.push(Record::new(n("example.com"), 172800, RData::Ns(n("ns1.example.com"))));
-        from_com.additionals.push(Record::new(n("ns1.example.com"), 172800, RData::A("192.0.2.53".parse().unwrap())));
+        from_com.authorities.push(Record::new(
+            n("example.com"),
+            172800,
+            RData::Ns(n("ns1.example.com")),
+        ));
+        from_com.additionals.push(Record::new(
+            n("ns1.example.com"),
+            172800,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ));
         c.ingest_response(ip("192.5.6.30"), &from_com);
 
         // example.com's answer.
         let mut from_sld = Message::default();
         from_sld.header.response = true;
         from_sld.header.authoritative = true;
-        from_sld.answers.push(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap())));
-        from_sld.authorities.push(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
+        from_sld.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ));
+        from_sld.authorities.push(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ));
         c.ingest_response(ip("192.0.2.53"), &from_sld);
 
         c
@@ -457,12 +491,19 @@ mod tests {
     fn delegations_and_glue_in_parent() {
         let built = harvest_walk().build();
         let root = built.zones.iter().find(|z| z.origin().is_root()).unwrap();
-        assert!(root.get(&n("com"), RrType::Ns).is_some(), "root delegates com");
+        assert!(
+            root.get(&n("com"), RrType::Ns).is_some(),
+            "root delegates com"
+        );
         assert!(
             root.get(&n("a.gtld-servers.net"), RrType::A).is_some(),
             "glue for com's NS in the root zone"
         );
-        let com = built.zones.iter().find(|z| z.origin() == &n("com")).unwrap();
+        let com = built
+            .zones
+            .iter()
+            .find(|z| z.origin() == &n("com"))
+            .unwrap();
         assert!(com.get(&n("example.com"), RrType::Ns).is_some());
         assert!(com.get(&n("ns1.example.com"), RrType::A).is_some());
     }
@@ -495,12 +536,22 @@ mod tests {
 
         let root_resp = engine.respond(ip("198.41.0.4"), &q, false);
         assert!(root_resp.answers.is_empty());
-        assert_eq!(root_resp.authorities.iter().filter(|r| r.name == n("com")).count(), 1);
+        assert_eq!(
+            root_resp
+                .authorities
+                .iter()
+                .filter(|r| r.name == n("com"))
+                .count(),
+            1
+        );
 
         let sld_resp = engine.respond(ip("192.0.2.53"), &q, false);
         assert_eq!(sld_resp.header.rcode, Rcode::NoError);
         assert_eq!(sld_resp.answers.len(), 1);
-        assert_eq!(sld_resp.answers[0].rdata, RData::A("192.0.2.80".parse().unwrap()));
+        assert_eq!(
+            sld_resp.answers[0].rdata,
+            RData::A("192.0.2.80".parse().unwrap())
+        );
     }
 
     #[test]
@@ -509,13 +560,25 @@ mod tests {
         // A second, different answer for www.example.com (CDN flap).
         let mut flap = Message::default();
         flap.header.response = true;
-        flap.answers.push(Record::new(n("www.example.com"), 300, RData::A("203.0.113.9".parse().unwrap())));
+        flap.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("203.0.113.9".parse().unwrap()),
+        ));
         c.ingest_response(ip("192.0.2.53"), &flap);
         let built = c.build();
         assert!(built.stats.conflicts_skipped >= 1);
-        let sld = built.zones.iter().find(|z| z.origin() == &n("example.com")).unwrap();
+        let sld = built
+            .zones
+            .iter()
+            .find(|z| z.origin() == &n("example.com"))
+            .unwrap();
         let set = sld.get(&n("www.example.com"), RrType::A).unwrap();
-        assert_eq!(set.rdatas, vec![RData::A("192.0.2.80".parse().unwrap())], "first answer kept");
+        assert_eq!(
+            set.rdatas,
+            vec![RData::A("192.0.2.80".parse().unwrap())],
+            "first answer kept"
+        );
     }
 
     #[test]
@@ -530,10 +593,15 @@ mod tests {
 
     #[test]
     fn single_zone_reconstruction() {
-        let mut resp = TraceRecord::udp_query(0, ip("192.0.2.53"), 53, n("www.example.com"), RrType::A);
+        let mut resp =
+            TraceRecord::udp_query(0, ip("192.0.2.53"), 53, n("www.example.com"), RrType::A);
         resp.direction = Direction::Response;
         resp.message.header.response = true;
-        resp.message.answers.push(Record::new(n("www.example.com"), 300, RData::A("192.0.2.80".parse().unwrap())));
+        resp.message.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A("192.0.2.80".parse().unwrap()),
+        ));
         let zone = build_single_zone(&n("example.com"), &[resp]);
         assert!(zone.validate().is_ok());
         assert!(zone.get(&n("www.example.com"), RrType::A).is_some());
@@ -557,7 +625,11 @@ mod tests {
                 172800,
                 RData::A(ns_addr.parse().unwrap()),
             ));
-            m.authorities.push(Record::new(Name::root(), 518400, RData::Ns(n("a.root-servers.net"))));
+            m.authorities.push(Record::new(
+                Name::root(),
+                518400,
+                RData::Ns(n("a.root-servers.net")),
+            ));
             m.additionals.push(Record::new(
                 n("a.root-servers.net"),
                 518400,

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, clippy wall, invariant linter, tests.
+# Run from the repo root. Fails fast on the first broken step.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo ldp-lint"
+cargo ldp-lint
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -1,2 +1,4 @@
 //! Workspace-root package hosting the integration tests and examples.
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
 pub use ldplayer::*;
