@@ -112,6 +112,10 @@ pub struct Header {
     pub recursion_desired: bool,
     /// Recursion available (RA).
     pub recursion_available: bool,
+    /// Reserved Z bit (bit 6). Must be zero per RFC 1035 §4.1.1 but is seen
+    /// set in real traces; preserved verbatim so replayed queries stay
+    /// byte-identical to the capture.
+    pub reserved_z: bool,
     /// Authentic data (AD, RFC 4035).
     pub authentic_data: bool,
     /// Checking disabled (CD, RFC 4035).
@@ -129,6 +133,7 @@ impl Default for Header {
             truncated: false,
             recursion_desired: false,
             recursion_available: false,
+            reserved_z: false,
             authentic_data: false,
             checking_disabled: false,
             rcode: Rcode::NoError,
@@ -144,6 +149,7 @@ impl Header {
             | u16::from(self.truncated) << 9
             | u16::from(self.recursion_desired) << 8
             | u16::from(self.recursion_available) << 7
+            | u16::from(self.reserved_z) << 6
             | u16::from(self.authentic_data) << 5
             | u16::from(self.checking_disabled) << 4
             | u16::from(self.rcode.code()) & 0xF
@@ -158,6 +164,7 @@ impl Header {
             truncated: w >> 9 & 1 == 1,
             recursion_desired: w >> 8 & 1 == 1,
             recursion_available: w >> 7 & 1 == 1,
+            reserved_z: w >> 6 & 1 == 1,
             authentic_data: w >> 5 & 1 == 1,
             checking_disabled: w >> 4 & 1 == 1,
             rcode: Rcode::from_code((w & 0xF) as u8), // ldp-lint: allow(r2) -- masked to 4 bits
@@ -480,6 +487,7 @@ mod tests {
             truncated: true,
             recursion_desired: true,
             recursion_available: true,
+            reserved_z: true,
             authentic_data: true,
             checking_disabled: true,
             rcode: Rcode::NxDomain,
@@ -487,6 +495,23 @@ mod tests {
         let w = h.flags_word();
         let h2 = Header::from_flags_word(1, w);
         assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn reserved_z_bit_survives_decode_and_reencode() {
+        // Regression: the Z bit (flags bit 6) used to be dropped on decode,
+        // so replaying a captured query with Z=1 silently emitted Z=0 and
+        // the replayed stream no longer matched the trace.
+        let mut q = Message::query(7, n("z.test"), RrType::A);
+        let mut bytes = q.to_bytes().unwrap();
+        bytes[3] |= 0x40; // Z is bit 6 of the flags word (low byte 3)
+        let decoded = Message::from_bytes(&bytes).unwrap();
+        assert!(decoded.header.reserved_z, "Z bit lost on decode");
+        let reencoded = decoded.to_bytes().unwrap();
+        assert_eq!(reencoded, bytes, "replayed bytes differ from capture");
+        // And the structured form roundtrips too.
+        q.header.reserved_z = true;
+        assert_eq!(decoded, q);
     }
 
     #[test]

@@ -124,6 +124,7 @@ prop_compose! {
         tc in any::<bool>(),
         rd in any::<bool>(),
         ra in any::<bool>(),
+        z in any::<bool>(),
         ad in any::<bool>(),
         cd in any::<bool>(),
         rcode in 0u8..16,
@@ -137,6 +138,7 @@ prop_compose! {
             truncated: tc,
             recursion_desired: rd,
             recursion_available: ra,
+            reserved_z: z,
             authentic_data: ad,
             checking_disabled: cd,
             rcode: Rcode::from_code(rcode),
