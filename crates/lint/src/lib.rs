@@ -4,7 +4,7 @@
 //! | rule | alias              | what it forbids                                            |
 //! |------|--------------------|------------------------------------------------------------|
 //! | R1   | `hot-path-panic`   | `unwrap`/`expect`/`panic!`/`unreachable!` in hot paths     |
-//! | R2   | `lossy-cast`       | `as u8`/`as u16`/`as u32` in `crates/wire`                 |
+//! | R2   | `lossy-cast`       | `as u8`/`as u16`/`as u32` in wire-format code              |
 //! | R3   | `blocking-async`   | `thread::sleep` / blocking I/O inside async bodies         |
 //! | R4   | `parser-roundtrip` | public parser entry points without a round-trip test       |
 //!
@@ -38,6 +38,14 @@ const HOT_PATH_FILES: &[&str] = &["crates/replay/src/engine.rs", "crates/netsim/
 /// Crates whose parser entry points R4 audits.
 const R4_CRATES: &[&str] = &["wire", "zone"];
 
+/// Files outside `crates/wire` that also emit wire-format fields — the
+/// trace on-disk writers — so R2's no-lossy-cast rule covers them too.
+const R2_WIRE_FILES: &[&str] = &[
+    "crates/trace/src/capture.rs",
+    "crates/trace/src/pcap.rs",
+    "crates/trace/src/stream.rs",
+];
+
 /// Derives the rule scope for one file from its workspace-relative path.
 pub fn workspace_scope(rel: &Path) -> FileScope {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
@@ -45,7 +53,7 @@ pub fn workspace_scope(rel: &Path) -> FileScope {
     FileScope {
         hot_path: HOT_PATH_CRATES.iter().any(|c| in_crate_src(c))
             || HOT_PATH_FILES.iter().any(|f| rel_str == *f),
-        wire: in_crate_src("wire"),
+        wire: in_crate_src("wire") || R2_WIRE_FILES.iter().any(|f| rel_str == *f),
         // All first-party async code must not block, wherever it lives.
         async_blocking: true,
     }
@@ -181,5 +189,12 @@ mod tests {
         assert!(s.hot_path);
         let s = workspace_scope(Path::new("crates/metrics/src/report.rs"));
         assert!(!s.hot_path && !s.wire && s.async_blocking);
+        // The trace on-disk writers are wire scope without being hot path.
+        for f in ["capture.rs", "pcap.rs", "stream.rs"] {
+            let s = workspace_scope(&Path::new("crates/trace/src").join(f));
+            assert!(s.wire && !s.hot_path, "{f} should be R2 wire scope");
+        }
+        let s = workspace_scope(Path::new("crates/trace/src/text.rs"));
+        assert!(!s.wire, "text format is not packed binary wire scope");
     }
 }

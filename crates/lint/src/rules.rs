@@ -13,7 +13,8 @@ use crate::regions::{in_any, Span};
 pub enum Rule {
     /// No `unwrap`/`expect`/`panic!`/`unreachable!` in hot-path modules.
     R1,
-    /// No lossy `as u8`/`as u16`/`as u32` casts in `crates/wire`.
+    /// No lossy `as u8`/`as u16`/`as u32` casts in wire-format code
+    /// (`crates/wire` plus the trace on-disk writers).
     R2,
     /// No `thread::sleep` or blocking I/O inside async code.
     R3,
@@ -78,7 +79,8 @@ impl fmt::Display for Diagnostic {
 pub struct FileScope {
     /// R1: the file is a designated hot-path module.
     pub hot_path: bool,
-    /// R2: the file is in `crates/wire`.
+    /// R2: the file emits wire-format bytes (`crates/wire` or a trace
+    /// on-disk writer).
     pub wire: bool,
     /// R3: async bodies in this file must not block.
     pub async_blocking: bool,

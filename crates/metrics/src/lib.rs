@@ -10,6 +10,10 @@
 //! * [`TimeSeries`] / [`RateSeries`] — per-interval gauges and rates over
 //!   experiment time (Figures 9, 13, 14).
 //!
+//! [`ShardStats`] adds the replay pipeline's per-shard saturation counters
+//! (sent/answered/late, queue depths) that the Figure 9 throughput
+//! experiments break down by querier shard.
+//!
 //! [`report`] renders results as aligned text tables (the form the
 //! experiment binaries print) and JSON (for downstream plotting).
 
@@ -18,9 +22,11 @@
 pub mod cdf;
 pub mod report;
 pub mod series;
+pub mod shard;
 pub mod summary;
 
 pub use cdf::Cdf;
 pub use report::Report;
 pub use series::{RateSeries, TimeSeries};
+pub use shard::{DepthRing, PipelineTotals, ShardStats};
 pub use summary::Summary;

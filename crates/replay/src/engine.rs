@@ -1,22 +1,36 @@
 //! The live replay engine (tokio, real sockets) — the implementation
 //! behind the §4 fidelity and throughput experiments.
 //!
-//! Architecture (Figure 4 of the paper): the Controller's Reader preloads
-//! the query stream and its Postman distributes records with same-source
-//! affinity to Distributors, which feed Queriers. The paper runs these as
-//! processes across hosts connected by TCP; here they are tokio tasks
-//! connected by channels — the dataflow (two-level sticky distribution,
-//! time-sync broadcast, per-querier scheduling) is the same, and the
-//! throughput experiment (§4.3) measures the same per-core replay limits.
+//! Architecture (Figure 4 of the paper), rebuilt as a sharded batched
+//! pipeline: the Controller's **Reader** decodes trace records and its
+//! **Postman** routes them with same-source affinity through a
+//! [`Batcher`], moving whole batches over bounded channels to one
+//! **Querier** per shard. The paper runs these as processes across hosts
+//! connected by TCP; here they are tokio tasks connected by channels —
+//! the dataflow (sticky distribution, time-sync broadcast, per-querier
+//! scheduling) is the same, and the throughput experiment (§4.3) measures
+//! the same per-core replay limits.
 //!
-//! Queriers keep one socket per original source (capped, LRU-less: sources
-//! beyond the cap share by hash) so same-source queries reuse a socket,
-//! and one TCP connection per source with reuse (§2.6). Timing uses
-//! [`ReplayClock`] with a hybrid coarse-sleep + spin for sub-millisecond
-//! accuracy.
+//! Batching is the hot-path lever: a channel hand-off costs a lock +
+//! wakeup, so moving `batch_size` records per hand-off amortizes that
+//! cost to near zero, and each querier drains a whole batch per wakeup —
+//! reserving outcome slots once per batch and, in [`ReplayMode::Fast`],
+//! coalescing consecutive same-source sends onto one socket lookup and
+//! one pending-map lock (TCP runs additionally collapse into a single
+//! write). [`ReplayMode::Timed`] still paces *every record* through
+//! [`ReplayClock`]'s hybrid coarse-sleep + spin, so fidelity is
+//! unchanged while input-side overhead shrinks.
+//!
+//! Queriers keep one socket per original source (capped, LRU-less:
+//! sources beyond the cap share by hash) so same-source queries reuse a
+//! socket, and one TCP connection per source with reuse (§2.6). Each
+//! shard exports [`ShardStats`] — sent/answered/late counts, queue
+//! depths, postman stalls — so the Figure 9 experiments can see *where*
+//! the pipeline saturates.
 
 use std::collections::HashMap;
 use std::net::{IpAddr, SocketAddr};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,15 +40,22 @@ use tokio::net::UdpSocket;
 use tokio::sync::mpsc;
 use tokio::task::JoinHandle;
 
+use ldp_metrics::ShardStats;
 use ldp_trace::{Protocol, TraceRecord};
 
-use crate::plan::ReplayPlan;
+use crate::plan::{Batcher, ReplayPlan};
 use crate::timing::ReplayClock;
 
 /// How the engine paces queries.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReplayMode {
-    /// Faithful trace timing (optionally scaled).
+    /// Faithful trace timing, optionally scaled by `speed`.
+    ///
+    /// `speed` multiplies inter-query delays, so **smaller is faster**:
+    /// `0.5` replays in half the wall time (twice as fast), `2.0` in
+    /// double (half speed). See [`ReplayClock::with_speed`] for the
+    /// convention and DESIGN.md's replay section for why it is delay-
+    /// scaling rather than a speedup factor.
     Timed { speed: f64 },
     /// As fast as possible (load testing, §4.3).
     Fast,
@@ -43,8 +64,12 @@ pub enum ReplayMode {
 /// Per-query result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayOutcome {
-    /// Query time relative to trace start (µs).
+    /// Query time relative to trace start (µs, unscaled trace timeline).
     pub trace_offset_us: u64,
+    /// Scheduled send time relative to the replay epoch (µs) — the trace
+    /// offset *after* speed scaling, i.e. the deadline the engine aimed
+    /// for. Equal to `trace_offset_us` at speed 1.0 and in `Fast` mode.
+    pub target_offset_us: u64,
     /// Actual send time relative to the replay epoch (µs).
     pub sent_offset_us: u64,
     /// Response latency, if an answer arrived (µs).
@@ -62,14 +87,20 @@ pub struct ReplayReport {
     pub send_duration_us: u64,
     pub sent: u64,
     pub answered: u64,
+    /// Per-shard pipeline saturation counters, one entry per querier.
+    pub shards: Vec<ShardStats>,
 }
 
 impl ReplayReport {
-    /// Timing errors in milliseconds (sent − target), Figure 6's metric.
+    /// Timing errors in milliseconds (sent − scheduled target), Figure
+    /// 6's metric. The target is the *scaled* trace offset, so errors are
+    /// meaningful at any `Timed` speed — comparing against the raw trace
+    /// offset would misreport every `speed != 1.0` run by the scaling
+    /// factor.
     pub fn timing_errors_ms(&self) -> Vec<f64> {
         self.outcomes
             .iter()
-            .map(|o| (o.sent_offset_us as f64 - o.trace_offset_us as f64) / 1000.0)
+            .map(|o| (o.sent_offset_us as f64 - o.target_offset_us as f64) / 1000.0)
             .collect()
     }
 
@@ -100,6 +131,9 @@ impl ReplayReport {
     }
 }
 
+/// What each querier task resolves to: its outcomes plus shard counters.
+type QuerierResult = std::io::Result<(Vec<ReplayOutcome>, ShardStats)>;
+
 /// Live replay configuration.
 #[derive(Debug, Clone)]
 pub struct LiveReplay {
@@ -111,8 +145,18 @@ pub struct LiveReplay {
     pub queriers_per_distributor: usize,
     /// Max distinct UDP sockets per querier (sources beyond share).
     pub max_sockets_per_querier: usize,
+    /// Records per pipeline batch: the unit the Postman hands a querier.
+    /// Larger batches amortize channel hand-offs further; `Timed` replays
+    /// flush partial batches on a trace-time horizon regardless, so
+    /// pacing never waits on batch fill.
+    pub batch_size: usize,
     /// How long to wait for in-flight answers after the last send.
     pub drain: Duration,
+    /// Optional live send counter: queriers add each drained batch's send
+    /// count here, so a long-running replay can be rate-sampled from the
+    /// outside (the §4.3 experiment reads it every two seconds) without
+    /// waiting for the final report.
+    pub progress: Option<Arc<AtomicU64>>,
 }
 
 impl LiveReplay {
@@ -125,63 +169,39 @@ impl LiveReplay {
             distributors: 1,
             queriers_per_distributor: 6,
             max_sockets_per_querier: 128,
+            batch_size: 256,
             drain: Duration::from_millis(300),
+            progress: None,
         }
     }
 
-    /// Runs the replay to completion.
+    /// Runs the replay to completion. The records `Vec` is the Reader's
+    /// fully preloaded window; routing and batching are identical to
+    /// [`LiveReplay::run_stream`].
     pub async fn run(&self, records: Vec<TraceRecord>) -> std::io::Result<ReplayReport> {
-        let trace_epoch_us = records.first().map(|r| r.time_us).unwrap_or(0);
-
-        // Controller: Reader (the records Vec is the preloaded window) +
-        // Postman (sticky two-level distribution).
-        let mut plan = ReplayPlan::new(self.distributors, self.queriers_per_distributor);
-        let partitions = plan.partition(records, |r| r.src);
-
-        // Distributor layer: forward each partition over a channel, as the
-        // paper's distributor processes do over TCP.
-        let mut handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>> = Vec::new();
-        // The shared epoch (the time-sync broadcast value). Taken just
-        // before spawning so offsets are measured on one clock; the few
-        // microseconds of spawn skew show up as (tiny) positive timing
-        // error, which the fidelity experiments' warmup window absorbs.
-        let epoch = Instant::now();
-        for part in partitions {
-            if part.is_empty() {
-                continue;
-            }
-            let (tx, rx) = mpsc::channel::<TraceRecord>(1024);
-            tokio::spawn(async move {
-                for rec in part {
-                    if tx.send(rec).await.is_err() {
-                        break;
-                    }
-                }
-            });
-            handles.push(tokio::spawn(self.querier(trace_epoch_us, epoch).run(rx)));
-        }
-
-        self.collect(handles).await
+        self.run_stream(records.into_iter().map(Ok)).await
     }
 
     /// Streaming variant: replays records pulled incrementally from a
     /// trace reader, never holding the whole trace in memory. This is the
-    /// paper's §3 Reader: a bounded read-ahead window (the channel
-    /// capacity) keeps input processing from falling behind real time
-    /// while capping memory for multi-gigabyte traces. The reader runs on
-    /// a blocking thread; routing stays sticky per source.
+    /// paper's §3 Reader: a bounded read-ahead window (`QUEUE_BATCHES`
+    /// batches of `batch_size` records per querier) keeps input
+    /// processing from falling behind real time while capping memory for
+    /// multi-gigabyte traces. The Reader+Postman run on a blocking
+    /// thread; routing stays sticky per source, and spines recycle back
+    /// from queriers so steady-state batching is allocation-free.
     pub async fn run_stream<I>(&self, records: I) -> std::io::Result<ReplayReport>
     where
         I: Iterator<Item = Result<TraceRecord, ldp_trace::TraceError>> + Send + 'static,
     {
-        let mut plan = ReplayPlan::new(self.distributors, self.queriers_per_distributor);
+        let plan = ReplayPlan::new(self.distributors, self.queriers_per_distributor);
         let n_queriers = plan.querier_count();
 
         // The reader must see the first record to latch the trace epoch
         // before any querier starts; peel it off eagerly.
         let mut records = records;
         let first = match records.next() {
-            None => return self.collect(Vec::new()).await,
+            None => return self.collect(Vec::new(), None).await,
             Some(Err(e)) => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -191,40 +211,94 @@ impl LiveReplay {
             Some(Ok(rec)) => rec,
         };
         let trace_epoch_us = first.time_us;
+        // The shared epoch (the time-sync broadcast value). Taken just
+        // before spawning so offsets are measured on one clock; the few
+        // microseconds of spawn skew show up as (tiny) positive timing
+        // error, which the fidelity experiments' warmup window absorbs.
         let epoch = Instant::now();
 
+        // Spine recycling: queriers return drained batch Vecs here; the
+        // postman feeds them back into the batcher's spare pool.
+        let (recycle_tx, mut recycle_rx) =
+            mpsc::channel::<Vec<TraceRecord>>(n_queriers * QUEUE_BATCHES);
+
         let mut txs = Vec::with_capacity(n_queriers);
-        let mut handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>> = Vec::new();
-        for _ in 0..n_queriers {
-            let (tx, rx) = mpsc::channel::<TraceRecord>(PRELOAD_WINDOW);
+        let mut depths: Vec<Arc<AtomicUsize>> = Vec::with_capacity(n_queriers);
+        let mut handles = Vec::with_capacity(n_queriers);
+        for shard in 0..n_queriers {
+            let (tx, rx) = mpsc::channel::<Vec<TraceRecord>>(QUEUE_BATCHES);
+            let depth = Arc::new(AtomicUsize::new(0));
             txs.push(tx);
-            handles.push(tokio::spawn(self.querier(trace_epoch_us, epoch).run(rx)));
+            depths.push(depth.clone());
+            handles.push(tokio::spawn(
+                self.querier(shard, trace_epoch_us, epoch)
+                    .run(rx, depth, recycle_tx.clone()),
+            ));
         }
+        drop(recycle_tx);
+
+        let batch_size = self.batch_size.max(1);
+        let horizon_us = match self.mode {
+            // Never hold a timed record hostage to a slow-filling batch:
+            // flush anything older than the horizon in trace time.
+            ReplayMode::Timed { .. } => BATCH_HORIZON_US,
+            ReplayMode::Fast => u64::MAX,
+        };
 
         // Reader + Postman on a blocking thread: decode, route sticky,
-        // push with backpressure (blocking_send parks the reader when a
-        // querier's window is full — the pre-load bound).
-        let reader = tokio::task::spawn_blocking(move || {
-            let (_, _, idx) = plan.route(first.src);
-            if txs[idx].blocking_send(first).is_err() {
-                return;
+        // batch, push with backpressure (a full querier queue parks the
+        // reader — the pre-load bound). Returns the postman-side shard
+        // counters: stalls and queue-depth observations.
+        let postman = tokio::task::spawn_blocking(move || {
+            let mut pstats: Vec<ShardStats> = (0..n_queriers).map(ShardStats::new).collect();
+            let mut batcher: Batcher<TraceRecord> = Batcher::new(plan, batch_size, horizon_us);
+            let mut flushes: Vec<(usize, Vec<TraceRecord>)> = Vec::new();
+
+            let deliver = |q: usize, batch: Vec<TraceRecord>, pstats: &mut Vec<ShardStats>| {
+                let observed = depths[q].load(Ordering::Relaxed);
+                let observed = u32::try_from(observed).unwrap_or(u32::MAX);
+                pstats[q].depths.push(observed);
+                pstats[q].max_queue_depth = pstats[q].max_queue_depth.max(observed);
+                match txs[q].try_send(batch) {
+                    Ok(()) => {
+                        depths[q].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(mpsc::error::SendError(batch)) => {
+                        // Full (or closed): count the stall, then block.
+                        pstats[q].postman_stalls += 1;
+                        if txs[q].blocking_send(batch).is_ok() {
+                            depths[q].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            };
+
+            batcher.push(first.src, first.time_us, first, &mut flushes);
+            for (q, batch) in flushes.drain(..) {
+                deliver(q, batch, &mut pstats);
             }
             for rec in records {
-                let Ok(rec) = rec else { return };
-                let (_, _, idx) = plan.route(rec.src);
-                if txs[idx].blocking_send(rec).is_err() {
-                    return;
+                let Ok(rec) = rec else { break };
+                batcher.push(rec.src, rec.time_us, rec, &mut flushes);
+                for (q, batch) in flushes.drain(..) {
+                    deliver(q, batch, &mut pstats);
+                }
+                while let Some(spine) = recycle_rx.try_recv() {
+                    batcher.donate(spine);
                 }
             }
+            for (q, batch) in batcher.finish() {
+                deliver(q, batch, &mut pstats);
+            }
+            pstats
         });
 
-        let report = self.collect(handles).await;
-        let _ = reader.await;
-        report
+        self.collect(handles, Some(postman)).await
     }
 
-    fn querier(&self, trace_epoch_us: u64, epoch: Instant) -> QuerierTask {
+    fn querier(&self, shard: usize, trace_epoch_us: u64, epoch: Instant) -> QuerierTask {
         QuerierTask {
+            shard,
             server: self.server,
             mode: self.mode,
             trace_epoch_us,
@@ -235,19 +309,39 @@ impl LiveReplay {
             epoch,
             max_sockets: self.max_sockets_per_querier,
             drain: self.drain,
+            progress: self.progress.clone(),
         }
     }
 
     async fn collect(
         &self,
-        handles: Vec<JoinHandle<std::io::Result<Vec<ReplayOutcome>>>>,
+        handles: Vec<JoinHandle<QuerierResult>>,
+        postman: Option<JoinHandle<Vec<ShardStats>>>,
     ) -> std::io::Result<ReplayReport> {
         let mut outcomes = Vec::new();
+        let mut shards: Vec<ShardStats> = Vec::new();
         for h in handles {
             let joined = h
                 .await
                 .map_err(|e| std::io::Error::other(format!("querier task failed: {e}")))?;
-            outcomes.extend(joined?);
+            let (o, s) = joined?;
+            outcomes.extend(o);
+            shards.push(s);
+        }
+        shards.sort_by_key(|s| s.shard);
+        if let Some(p) = postman {
+            if let Ok(pstats) = p.await {
+                for ps in pstats {
+                    match shards.iter_mut().find(|s| s.shard == ps.shard) {
+                        Some(s) => {
+                            s.postman_stalls = ps.postman_stalls;
+                            s.max_queue_depth = ps.max_queue_depth;
+                            s.depths = ps.depths;
+                        }
+                        None => shards.push(ps),
+                    }
+                }
+            }
         }
         let send_duration_us = outcomes
             .iter()
@@ -263,19 +357,71 @@ impl LiveReplay {
             send_duration_us,
             sent,
             answered,
+            shards,
         })
     }
 }
 
-/// The Reader's per-querier read-ahead window (records), bounding memory
-/// for streamed traces while keeping queriers fed ahead of real time (§3).
-const PRELOAD_WINDOW: usize = 4096;
+/// Bounded queue length per querier, in batches. With the default batch
+/// size this gives the same ~4k-record read-ahead window as the previous
+/// per-record channel, at 1/`batch_size` the synchronization cost.
+const QUEUE_BATCHES: usize = 16;
 
-/// Shared response bookkeeping: outcome slots + per-socket pending maps.
-type Pending = Arc<Mutex<HashMap<u16, (usize, Instant)>>>;
+/// `Timed`-mode partial batches flush once the input stream's trace time
+/// has moved this far past their oldest record, so batch fill can never
+/// delay a scheduled send (the reader runs well ahead of real time).
+const BATCH_HORIZON_US: u64 = 100_000;
+
+/// A `Timed` send is counted late in [`ShardStats`] when it misses its
+/// scaled deadline by more than this (4× the paper's ±2.5 ms Figure 6
+/// quartile window).
+const LATE_BUDGET_US: u64 = 10_000;
+
+/// Per-socket in-flight table indexed by message id: a flat 65 536-slot
+/// array instead of a `HashMap<u16, _>` — no hashing and no probing on
+/// the two hottest operations (insert on send, take on answer) for
+/// ~1.5 MiB per socket, which the socket cap bounds.
+struct PendingTable {
+    slots: Vec<Option<(usize, Instant)>>,
+}
+
+impl PendingTable {
+    fn new() -> PendingTable {
+        PendingTable {
+            slots: vec![None; 1 << 16],
+        }
+    }
+
+    /// Registers an in-flight id; a still-outstanding id that wrapped
+    /// around is overwritten, matching the map behavior it replaced.
+    fn insert(&mut self, id: u16, value: (usize, Instant)) {
+        if let Some(slot) = self.slots.get_mut(id as usize) {
+            *slot = Some(value);
+        }
+    }
+
+    fn remove(&mut self, id: u16) -> Option<(usize, Instant)> {
+        self.slots.get_mut(id as usize)?.take()
+    }
+}
+
+/// Shared response bookkeeping: outcome slots + per-socket pending tables.
+type Pending = Arc<Mutex<PendingTable>>;
 type Latencies = Arc<Mutex<Vec<Option<u64>>>>;
 
+/// Per-send record: which latency slot the response will land in, plus
+/// the timing fields the final [`ReplayOutcome`] reports.
+struct Meta {
+    slot: usize,
+    trace_offset_us: u64,
+    target_offset_us: u64,
+    sent_offset_us: u64,
+    src: IpAddr,
+    protocol: Protocol,
+}
+
 struct QuerierTask {
+    shard: usize,
     server: SocketAddr,
     mode: ReplayMode,
     trace_epoch_us: u64,
@@ -283,134 +429,351 @@ struct QuerierTask {
     epoch: Instant,
     max_sockets: usize,
     drain: Duration,
+    progress: Option<Arc<AtomicU64>>,
+}
+
+/// Socket/connection state one querier owns, factored out so the batch
+/// loops can borrow it alongside the batch being drained.
+struct QuerierState {
+    server: SocketAddr,
+    max_sockets: usize,
+    udp: Vec<(Arc<UdpSocket>, Pending)>,
+    udp_by_source: HashMap<IpAddr, usize>,
+    tcp: HashMap<IpAddr, TcpConn>,
+    recv_tasks: Vec<JoinHandle<()>>,
+    latencies: Latencies,
+    /// One in-flight table for the whole querier, shared by every socket
+    /// and connection: ids come from the querier-wide counter, so they are
+    /// unique across the querier's sockets — and a single 1.5 MiB table
+    /// stays a single table when a high-source trace fans out to hundreds
+    /// of sockets.
+    pending: Pending,
+    next_id: u16,
+}
+
+impl QuerierState {
+    /// UDP socket slot for `src`, creating one (with its receive task)
+    /// under the cap, sharing by hash beyond it.
+    async fn udp_slot(&mut self, src: IpAddr) -> std::io::Result<usize> {
+        if let Some(&s) = self.udp_by_source.get(&src) {
+            return Ok(s);
+        }
+        let s = if self.udp.len() < self.max_sockets {
+            let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+            let pending = self.pending.clone();
+            self.recv_tasks.push(tokio::spawn(recv_udp(
+                socket.clone(),
+                pending.clone(),
+                self.latencies.clone(),
+            )));
+            self.udp.push((socket, pending));
+            self.udp.len() - 1
+        } else {
+            // Cap reached: share sockets by source hash.
+            hash_ip(src) % self.udp.len()
+        };
+        self.udp_by_source.insert(src, s);
+        Ok(s)
+    }
+
+    /// Live TCP connection for `src`, (re)opening when absent or dead.
+    /// `None` means the open failed; the caller skips the send.
+    async fn tcp_conn(&mut self, src: IpAddr) -> Option<&mut TcpConn> {
+        let needs_open = self.tcp.get(&src).is_none_or(|c| c.dead);
+        if needs_open {
+            match TcpConn::open(self.server, self.latencies.clone(), self.pending.clone()).await {
+                Ok(c) => {
+                    self.tcp.insert(src, c);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.tcp.get_mut(&src)
+    }
+
+    fn fresh_id(&mut self) -> u16 {
+        self.next_id = self.next_id.wrapping_add(1);
+        self.next_id
+    }
 }
 
 impl QuerierTask {
-    async fn run(self, mut rx: mpsc::Receiver<TraceRecord>) -> std::io::Result<Vec<ReplayOutcome>> {
-        let mut udp: Vec<(Arc<UdpSocket>, Pending)> = Vec::new();
-        let mut udp_by_source: HashMap<IpAddr, usize> = HashMap::new();
-        let mut tcp: HashMap<IpAddr, TcpConn> = HashMap::new();
-        let mut recv_tasks: Vec<JoinHandle<()>> = Vec::new();
-
-        let latencies: Latencies = Arc::new(Mutex::new(Vec::new()));
-        let mut meta: Vec<(u64, u64, IpAddr, Protocol)> = Vec::new();
-        let mut next_id: u16 = 0;
-        #[cfg(debug_assertions)]
+    async fn run(
+        self,
+        mut rx: mpsc::Receiver<Vec<TraceRecord>>,
+        depth: Arc<AtomicUsize>,
+        recycle: mpsc::Sender<Vec<TraceRecord>>,
+    ) -> std::io::Result<(Vec<ReplayOutcome>, ShardStats)> {
+        let mut stats = ShardStats::new(self.shard);
+        let mut state = QuerierState {
+            server: self.server,
+            max_sockets: self.max_sockets,
+            udp: Vec::new(),
+            udp_by_source: HashMap::new(),
+            tcp: HashMap::new(),
+            recv_tasks: Vec::new(),
+            latencies: Arc::new(Mutex::new(Vec::new())),
+            pending: Arc::new(Mutex::new(PendingTable::new())),
+            next_id: 0,
+        };
+        let mut meta: Vec<Meta> = Vec::new();
         let mut last_deadline_us: u64 = 0;
 
-        while let Some(mut rec) = rx.recv().await {
-            // Pace the send.
-            let now_us = self.epoch.elapsed().as_micros() as u64;
-            if let ReplayMode::Timed { .. } = self.mode {
-                // Invariant: the plan feeds each querier records in trace
-                // order, so real-clock deadlines are monotone — a regression
-                // here would silently reorder the replayed stream.
-                #[cfg(debug_assertions)]
-                {
-                    let deadline = self.clock.target_real_us(rec.time_us);
-                    debug_assert!(
-                        deadline >= last_deadline_us,
-                        "deadline went backwards: {deadline} < {last_deadline_us}"
-                    );
-                    last_deadline_us = deadline;
+        while let Some(mut batch) = rx.recv().await {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            stats.batches += 1;
+            // Reserve the batch's outcome slots under one lock.
+            let base = {
+                let mut l = state.latencies.lock();
+                let b = l.len();
+                l.resize(b + batch.len(), None);
+                b
+            };
+            let drained_from = meta.len();
+            match self.mode {
+                ReplayMode::Timed { .. } => {
+                    self.drain_timed(
+                        &mut batch,
+                        base,
+                        &mut state,
+                        &mut meta,
+                        &mut stats,
+                        &mut last_deadline_us,
+                    )
+                    .await?;
                 }
-                if let Some(delay) = self.clock.delay_us(rec.time_us, now_us) {
-                    sleep_until_precise(Instant::now() + Duration::from_micros(delay)).await;
+                ReplayMode::Fast => {
+                    self.drain_fast(&mut batch, base, &mut state, &mut meta)
+                        .await?;
                 }
             }
+            if let Some(progress) = &self.progress {
+                progress.fetch_add((meta.len() - drained_from) as u64, Ordering::Relaxed);
+            }
+            batch.clear();
+            let _ = recycle.try_send(batch);
+        }
 
-            let outcome_idx = {
-                let mut l = latencies.lock();
-                l.push(None);
-                l.len() - 1
-            };
-            next_id = next_id.wrapping_add(1);
-            rec.message.header.id = next_id;
-            let wire = match rec.message.to_bytes() {
-                Ok(w) => w,
-                Err(_) => continue,
-            };
+        tokio::time::sleep(self.drain).await;
+        for t in &state.recv_tasks {
+            t.abort();
+        }
+        for (_, conn) in state.tcp.iter() {
+            conn.reader.abort();
+        }
 
+        let latencies = state.latencies.lock();
+        stats.sent = meta.len() as u64;
+        stats.answered = latencies.iter().filter(|l| l.is_some()).count() as u64;
+        let outcomes = meta
+            .into_iter()
+            .map(|m| ReplayOutcome {
+                trace_offset_us: m.trace_offset_us,
+                target_offset_us: m.target_offset_us,
+                sent_offset_us: m.sent_offset_us,
+                latency_us: latencies.get(m.slot).copied().flatten(),
+                src: m.src,
+                protocol: m.protocol,
+            })
+            .collect();
+        Ok((outcomes, stats))
+    }
+
+    /// `Timed` drain: every record is individually paced on the scaled
+    /// clock (batching only changed how records *arrive*, not when they
+    /// are sent), then sent exactly as the per-record engine did.
+    async fn drain_timed(
+        &self,
+        batch: &mut [TraceRecord],
+        base: usize,
+        state: &mut QuerierState,
+        meta: &mut Vec<Meta>,
+        stats: &mut ShardStats,
+        last_deadline_us: &mut u64,
+    ) -> std::io::Result<()> {
+        for (k, rec) in batch.iter_mut().enumerate() {
+            let now_us = self.epoch.elapsed().as_micros() as u64;
+            // Invariant: the plan feeds each querier records in trace
+            // order, so real-clock deadlines are monotone — a regression
+            // here would silently reorder the replayed stream.
+            let deadline = self.clock.target_real_us(rec.time_us);
+            debug_assert!(
+                deadline >= *last_deadline_us,
+                "deadline went backwards: {deadline} < {last_deadline_us}"
+            );
+            *last_deadline_us = deadline;
+            if let Some(delay) = self.clock.delay_us(rec.time_us, now_us) {
+                sleep_until_precise(Instant::now() + Duration::from_micros(delay)).await;
+            }
+
+            let id = state.fresh_id();
+            rec.message.header.id = id;
+            let Ok(wire) = rec.message.to_bytes() else {
+                continue;
+            };
             let sent_at = Instant::now();
             match rec.protocol {
                 Protocol::Udp => {
-                    let slot = match udp_by_source.get(&rec.src) {
-                        Some(&s) => s,
-                        None => {
-                            let s = if udp.len() < self.max_sockets {
-                                let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
-                                let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
-                                recv_tasks.push(tokio::spawn(recv_udp(
-                                    socket.clone(),
-                                    pending.clone(),
-                                    latencies.clone(),
-                                )));
-                                udp.push((socket, pending));
-                                udp.len() - 1
-                            } else {
-                                // Cap reached: share sockets by source hash.
-                                hash_ip(rec.src) % udp.len()
-                            };
-                            udp_by_source.insert(rec.src, s);
-                            s
-                        }
-                    };
-                    let (socket, pending) = &udp[slot];
-                    pending.lock().insert(next_id, (outcome_idx, sent_at));
+                    let slot = state.udp_slot(rec.src).await?;
+                    let (socket, pending) = &state.udp[slot];
+                    pending.lock().insert(id, (base + k, sent_at));
                     let _ = socket.send_to(&wire, self.server).await;
                 }
                 Protocol::Tcp | Protocol::Tls | Protocol::Quic => {
                     // Live mode carries TLS/QUIC as TCP: handshake
                     // emulation is a simulator concern; live TCP still
                     // exercises framing and connection reuse.
-                    let needs_open = tcp.get(&rec.src).is_none_or(|c| c.dead);
-                    if needs_open {
-                        match TcpConn::open(self.server, latencies.clone()).await {
-                            Ok(c) => {
-                                tcp.insert(rec.src, c);
-                            }
-                            Err(_) => continue,
-                        }
-                    }
-                    let Some(conn) = tcp.get_mut(&rec.src) else {
+                    let Some(conn) = state.tcp_conn(rec.src).await else {
                         continue;
                     };
-                    conn.pending.lock().insert(next_id, (outcome_idx, sent_at));
+                    conn.pending.lock().insert(id, (base + k, sent_at));
                     if conn.send(&wire).await.is_err() {
                         conn.dead = true;
                     }
                 }
             }
-            meta.push((
-                rec.time_us.saturating_sub(self.trace_epoch_us),
-                self.epoch.elapsed().as_micros() as u64,
-                rec.src,
-                rec.protocol,
-            ));
+            let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
+            let target_offset_us = deadline;
+            if sent_offset_us > target_offset_us + LATE_BUDGET_US {
+                stats.late += 1;
+            }
+            meta.push(Meta {
+                slot: base + k,
+                trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
+                target_offset_us,
+                sent_offset_us,
+                src: rec.src,
+                protocol: rec.protocol,
+            });
         }
+        Ok(())
+    }
 
-        tokio::time::sleep(self.drain).await;
-        for t in &recv_tasks {
-            t.abort();
+    /// `Fast` drain: syscall-dense. Consecutive same-source same-protocol
+    /// records form a *run* (sticky routing makes runs long); each run
+    /// costs one socket lookup and one pending-map lock, and TCP runs
+    /// collapse all frames into a single write.
+    async fn drain_fast(
+        &self,
+        batch: &mut [TraceRecord],
+        base: usize,
+        state: &mut QuerierState,
+        meta: &mut Vec<Meta>,
+    ) -> std::io::Result<()> {
+        let mut i = 0;
+        while i < batch.len() {
+            let src = batch[i].src;
+            let protocol = batch[i].protocol;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].src == src && batch[j].protocol == protocol {
+                j += 1;
+            }
+            match protocol {
+                Protocol::Udp => {
+                    let slot = state.udp_slot(src).await?;
+                    // Encode the run and register every pending entry
+                    // under one lock; a record that fails to encode is
+                    // never registered, so the pending map only ever
+                    // holds ids that actually went on the wire.
+                    let mut wires: Vec<Vec<u8>> = Vec::with_capacity(j - i);
+                    let mut queued: Vec<usize> = Vec::with_capacity(j - i);
+                    {
+                        let sent_at = Instant::now();
+                        let mut p = state.udp[slot].1.lock();
+                        for (k, rec) in batch.iter_mut().enumerate().take(j).skip(i) {
+                            state.next_id = state.next_id.wrapping_add(1);
+                            let id = state.next_id;
+                            rec.message.header.id = id;
+                            let Ok(wire) = rec.message.to_bytes() else {
+                                continue;
+                            };
+                            p.insert(id, (base + k, sent_at));
+                            wires.push(wire);
+                            queued.push(k);
+                        }
+                    }
+                    // One sendmmsg carries the whole run; any tail the
+                    // kernel refuses goes out individually.
+                    let socket = state.udp[slot].0.clone();
+                    let refs: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+                    let sent_n = socket.send_many_to(&refs, self.server).await.unwrap_or(0);
+                    for wire in &refs[sent_n..] {
+                        let _ = socket.send_to(wire, self.server).await;
+                    }
+                    let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
+                    for k in queued {
+                        let rec = &batch[k];
+                        meta.push(Meta {
+                            slot: base + k,
+                            trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
+                            target_offset_us: self.clock.target_real_us(rec.time_us),
+                            sent_offset_us,
+                            src,
+                            protocol,
+                        });
+                    }
+                }
+                Protocol::Tcp | Protocol::Tls | Protocol::Quic => {
+                    // Open (or reuse) the run's connection up front; an
+                    // open failure skips the whole run, matching the old
+                    // per-record behavior.
+                    if state.tcp_conn(src).await.is_none() {
+                        i = j;
+                        continue;
+                    }
+                    // One frame buffer + one pending lock for the run,
+                    // then a single write carrying every frame.
+                    let mut buf = Vec::new();
+                    let mut queued: Vec<usize> = Vec::with_capacity(j - i);
+                    {
+                        let Some(conn) = state.tcp.get_mut(&src) else {
+                            i = j;
+                            continue;
+                        };
+                        let mut p = conn.pending.lock();
+                        for (k, rec) in batch.iter_mut().enumerate().take(j).skip(i) {
+                            // Disjoint field borrows: ids advance while
+                            // the connection (state.tcp) is held.
+                            state.next_id = state.next_id.wrapping_add(1);
+                            let id = state.next_id;
+                            rec.message.header.id = id;
+                            let Ok(wire) = rec.message.to_bytes() else {
+                                continue;
+                            };
+                            let Ok(framed) = ldp_wire::framing::frame_message(&wire) else {
+                                continue;
+                            };
+                            p.insert(id, (base + k, Instant::now()));
+                            buf.extend_from_slice(&framed);
+                            queued.push(k);
+                        }
+                    }
+                    if !buf.is_empty() {
+                        let Some(conn) = state.tcp.get_mut(&src) else {
+                            i = j;
+                            continue;
+                        };
+                        if conn.send_raw(&buf).await.is_err() {
+                            conn.dead = true;
+                        }
+                    }
+                    let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
+                    for k in queued {
+                        let rec = &batch[k];
+                        meta.push(Meta {
+                            slot: base + k,
+                            trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
+                            target_offset_us: self.clock.target_real_us(rec.time_us),
+                            sent_offset_us,
+                            src,
+                            protocol,
+                        });
+                    }
+                }
+            }
+            i = j;
         }
-        for (_, conn) in tcp.iter() {
-            conn.reader.abort();
-        }
-
-        let latencies = latencies.lock();
-        Ok(meta
-            .into_iter()
-            .enumerate()
-            .map(
-                |(i, (trace_offset_us, sent_offset_us, src, protocol))| ReplayOutcome {
-                    trace_offset_us,
-                    sent_offset_us,
-                    latency_us: latencies.get(i).copied().flatten(),
-                    src,
-                    protocol,
-                },
-            )
-            .collect())
+        Ok(())
     }
 }
 
@@ -421,21 +784,37 @@ fn hash_ip(ip: IpAddr) -> usize {
     h.finish() as usize
 }
 
+/// Answers drained per `recvmmsg` wakeup: a burst of responses costs one
+/// syscall, not one per answer. The buffers are deliberately tiny — only
+/// the 2-byte message id is read from an answer, so the kernel truncating
+/// an oversized datagram is harmless, and a high-source trace fanning out
+/// to hundreds of sockets (each with its own receive task) stays at
+/// kilobytes, not megabytes, of buffer per socket.
+const RECV_BATCH: usize = 32;
+const RECV_BUF: usize = 2_048;
+
 async fn recv_udp(socket: Arc<UdpSocket>, pending: Pending, latencies: Latencies) {
-    let mut buf = vec![0u8; 65_535];
+    let mut bufs: Vec<Vec<u8>> = (0..RECV_BATCH).map(|_| vec![0u8; RECV_BUF]).collect();
     loop {
-        let Ok((len, _)) = socket.recv_from(&mut buf).await else {
+        let Ok(received) = socket.recv_many(&mut bufs).await else {
             continue;
         };
-        if len < 2 {
+        if received.is_empty() {
             continue;
         }
-        let id = u16::from_be_bytes([buf[0], buf[1]]);
-        if let Some((idx, sent_at)) = pending.lock().remove(&id) {
-            let latency = sent_at.elapsed().as_micros() as u64;
-            let mut l = latencies.lock();
-            if let Some(slot) = l.get_mut(idx) {
-                *slot = Some(latency);
+        let now = Instant::now();
+        let mut p = pending.lock();
+        let mut l = latencies.lock();
+        for (i, &(len, _)) in received.iter().enumerate() {
+            if len < 2 {
+                continue;
+            }
+            let id = u16::from_be_bytes([bufs[i][0], bufs[i][1]]);
+            if let Some((idx, sent_at)) = p.remove(id) {
+                let latency = now.saturating_duration_since(sent_at).as_micros() as u64;
+                if let Some(slot) = l.get_mut(idx) {
+                    *slot = Some(latency);
+                }
             }
         }
     }
@@ -449,11 +828,14 @@ struct TcpConn {
 }
 
 impl TcpConn {
-    async fn open(server: SocketAddr, latencies: Latencies) -> std::io::Result<TcpConn> {
+    async fn open(
+        server: SocketAddr,
+        latencies: Latencies,
+        pending: Pending,
+    ) -> std::io::Result<TcpConn> {
         let stream = tokio::net::TcpStream::connect(server).await?;
         stream.set_nodelay(true)?;
         let (mut read_half, writer) = stream.into_split();
-        let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
         let pending_r = pending.clone();
         let reader = tokio::spawn(async move {
             loop {
@@ -470,7 +852,7 @@ impl TcpConn {
                     continue;
                 }
                 let id = u16::from_be_bytes([msg[0], msg[1]]);
-                if let Some((idx, sent_at)) = pending_r.lock().remove(&id) {
+                if let Some((idx, sent_at)) = pending_r.lock().remove(id) {
                     let latency = sent_at.elapsed().as_micros() as u64;
                     let mut l = latencies.lock();
                     if let Some(slot) = l.get_mut(idx) {
@@ -491,6 +873,11 @@ impl TcpConn {
         let framed = ldp_wire::framing::frame_message(wire)
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized"))?;
         self.writer.write_all(&framed).await
+    }
+
+    /// Writes pre-framed bytes (a whole run's frames) in one call.
+    async fn send_raw(&mut self, framed: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(framed).await
     }
 }
 
@@ -636,5 +1023,107 @@ mod tests {
         let report = LiveReplay::new(server.addr).run(vec![]).await.unwrap();
         assert_eq!(report.sent, 0);
         assert_eq!(report.achieved_qps(), 0.0);
+    }
+
+    /// Regression for the Figure 6 accounting bug: at `speed != 1.0` the
+    /// old metric compared send times against the *unscaled* trace
+    /// offset, so a half-time replay reported ~half the trace span as
+    /// "error". The fixed metric compares against the scaled target and
+    /// must stay loopback-small at any speed.
+    async fn timing_errors_stay_small_at(speed: f64) {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Timed { speed };
+        // 100 records spanning 300 ms of trace time.
+        let report = replay.run(trace(100, 3_000, Protocol::Udp)).await.unwrap();
+        assert_eq!(report.sent, 100);
+        let errors = report.timing_errors_ms();
+        let max_abs = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        // The old bug would make this ≈ (1 − speed) × 300 ms ≥ 150 ms for
+        // the last record; the corrected metric stays loopback-small.
+        assert!(
+            max_abs < 50.0,
+            "speed {speed}: max |timing error| {max_abs} ms"
+        );
+        // Targets really are the scaled offsets.
+        for o in &report.outcomes {
+            let want = (o.trace_offset_us as f64 * speed) as u64;
+            let diff = o.target_offset_us.abs_diff(want);
+            assert!(
+                diff <= 1,
+                "target {} vs scaled trace offset {want} (speed {speed})",
+                o.target_offset_us
+            );
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn timing_errors_correct_at_double_speed() {
+        timing_errors_stay_small_at(0.5).await;
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn timing_errors_correct_at_half_speed() {
+        timing_errors_stay_small_at(2.0).await;
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn shard_stats_cover_all_sends() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Fast;
+        replay.batch_size = 32;
+        let report = replay.run(trace(400, 500, Protocol::Udp)).await.unwrap();
+        assert_eq!(report.sent, 400);
+        let totals = ldp_metrics::PipelineTotals::from_shards(&report.shards);
+        assert_eq!(totals.sent, report.sent);
+        assert_eq!(totals.answered, report.answered);
+        assert!(totals.batches >= report.shards.iter().filter(|s| s.sent > 0).count() as u64);
+        // Every active shard drained at least one batch and observed its
+        // queue depth at enqueue time.
+        for s in report.shards.iter().filter(|s| s.sent > 0) {
+            assert!(s.batches > 0, "shard {} sent but drained no batch", s.shard);
+            assert!(
+                !s.depths.is_empty(),
+                "shard {} has no depth samples",
+                s.shard
+            );
+        }
+        // Fast mode never counts lateness.
+        assert_eq!(totals.late, 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn fast_mode_preserves_same_source_order_across_batches() {
+        // Batch boundaries must not reorder a source's queries: outcomes
+        // carry trace offsets, and per source they must be sent in trace
+        // order (monotone sent offsets when sorted by trace offset).
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let mut replay = LiveReplay::new(server.addr);
+        replay.mode = ReplayMode::Fast;
+        replay.batch_size = 16; // force many batch boundaries
+        let report = replay.run(trace(600, 100, Protocol::Udp)).await.unwrap();
+        assert_eq!(report.sent, 600);
+        let mut by_src: HashMap<IpAddr, Vec<(u64, u64)>> = HashMap::new();
+        for o in &report.outcomes {
+            by_src
+                .entry(o.src)
+                .or_default()
+                .push((o.trace_offset_us, o.sent_offset_us));
+        }
+        assert_eq!(by_src.len(), 5);
+        for (src, mut sends) in by_src {
+            sends.sort_unstable();
+            assert!(
+                sends.windows(2).all(|w| w[0].1 <= w[1].1),
+                "source {src} reordered across batch boundaries"
+            );
+        }
     }
 }

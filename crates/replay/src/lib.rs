@@ -27,5 +27,5 @@ pub mod simclient;
 pub mod timing;
 
 pub use engine::{LiveReplay, ReplayMode, ReplayOutcome, ReplayReport};
-pub use plan::ReplayPlan;
+pub use plan::{Batcher, ReplayPlan};
 pub use timing::ReplayClock;

@@ -21,6 +21,10 @@ use ldp_trace::{Protocol, TraceRecord};
 use ldp_wire::framing::{frame_message, FrameDecoder};
 use ldp_wire::{DNS_PORT, DNS_TLS_PORT};
 
+/// Token for the single chained send timer. Bit 63 is clear, so it can
+/// never collide with the tokens [`TcpStack`] stamps with `TCP_TIMER_BIT`.
+const SEND_TIMER: u64 = 0;
+
 /// Result of one replayed query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOutcome {
@@ -71,6 +75,8 @@ pub struct SimQuerier {
     addr: IpAddr,
     server: IpAddr,
     records: Vec<TraceRecord>,
+    /// Next unsent record (records are time-ordered; see [`Self::drain_due`]).
+    cursor: usize,
     pub tcp: TcpStack,
     conns: HashMap<IpAddr, SourceConn>,
     conn_owner: HashMap<ConnKey, IpAddr>,
@@ -127,7 +133,27 @@ impl SimQuerier {
             next_quic_id: (addr_seed(addr) << 32) | 1,
             quic_port: 8853,
             aborted: 0,
+            cursor: 0,
             records,
+        }
+    }
+
+    /// Sends every record due at or before the current virtual time, then
+    /// arms one timer for the next future record. A single chained timer
+    /// replaces the old timer-per-record scheme: a querier holding a
+    /// million-record slice no longer floods the event queue at start, and
+    /// co-due records drain batch-style in one wakeup, in trace order.
+    fn drain_due(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        while self.cursor < self.records.len() {
+            let due = SimTime::from_micros(self.records[self.cursor].time_us);
+            if due > now {
+                ctx.set_timer(due - now, SEND_TIMER);
+                return;
+            }
+            let index = self.cursor;
+            self.cursor += 1;
+            self.send_query(ctx, index);
         }
     }
 
@@ -451,12 +477,10 @@ impl SimQuerier {
 
 impl Node for SimQuerier {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        // Arm one timer per record at its trace time; virtual time makes
-        // this exact (ΔT scheduling degenerates to "fire at t̄ᵢ").
-        for (i, rec) in self.records.iter().enumerate() {
-            let at = SimTime::from_micros(rec.time_us) - SimTime::ZERO;
-            ctx.set_timer(at, i as u64);
-        }
+        // Chained ΔT scheduling: arm only the next record's timer; each
+        // wakeup drains everything due (virtual time makes the arithmetic
+        // exact — ΔT degenerates to "fire at t̄ᵢ").
+        self.drain_due(ctx);
     }
 
     fn on_event(&mut self, ctx: &mut Ctx, event: NodeEvent) {
@@ -465,8 +489,8 @@ impl Node for SimQuerier {
                 let events = self.tcp.on_timer(ctx, token);
                 self.handle_tcp_events(ctx, events);
             }
-            NodeEvent::Timer { token } => {
-                self.send_query(ctx, token as usize);
+            NodeEvent::Timer { .. } => {
+                self.drain_due(ctx);
             }
             NodeEvent::Packet(packet) => match &packet.payload {
                 Payload::Udp(data) => {

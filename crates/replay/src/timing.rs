@@ -35,7 +35,26 @@ impl ReplayClock {
         }
     }
 
-    /// Scales replay speed: delays are multiplied by `factor`.
+    /// Scales replay speed: delays are multiplied by `factor`, so
+    /// **smaller is faster** — `0.5` replays the trace in half the wall
+    /// time, `2.0` in double. See DESIGN.md ("Replay speed convention").
+    ///
+    /// ```
+    /// use ldp_replay::ReplayClock;
+    ///
+    /// // A query 10 ms into the trace...
+    /// let real_time = ReplayClock::synchronize(0, 0);
+    /// assert_eq!(real_time.delay_us(10_000, 0), Some(10_000));
+    ///
+    /// // ...is due at 5 ms when speed = 0.5 (twice as fast)...
+    /// let doubled = ReplayClock::synchronize(0, 0).with_speed(0.5);
+    /// assert_eq!(doubled.delay_us(10_000, 0), Some(5_000));
+    /// assert_eq!(doubled.target_real_us(10_000), 5_000);
+    ///
+    /// // ...and at 20 ms when speed = 2.0 (half speed).
+    /// let halved = ReplayClock::synchronize(0, 0).with_speed(2.0);
+    /// assert_eq!(halved.delay_us(10_000, 0), Some(20_000));
+    /// ```
     pub fn with_speed(mut self, factor: f64) -> ReplayClock {
         // Deadlines must stay monotone in trace time: a negative or NaN
         // factor would reorder sends relative to the trace.

@@ -1,9 +1,10 @@
 //! Property tests for the replay engine's pure components: the sticky
-//! distribution plan and the ΔT scheduling clock.
+//! distribution plan, the ΔT scheduling clock, and the Postman's batcher.
 
-use ldp_replay::plan::ReplayPlan;
+use ldp_replay::plan::{Batcher, ReplayPlan};
 use ldp_replay::timing::ReplayClock;
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::net::IpAddr;
 
 fn ip(v: u32) -> IpAddr {
@@ -88,6 +89,75 @@ proptest! {
             .collect();
         for w in targets.windows(2) {
             prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Replaying at speed s preserves trace order and scales every
+    /// inter-send gap by s: the scheduled targets for consecutive records
+    /// are `s × trace gap` apart, within 1 µs of floor rounding at each
+    /// endpoint ("smaller is faster": s = 0.5 halves every gap).
+    #[test]
+    fn timed_schedule_scales_gaps_by_speed(
+        mut offsets in proptest::collection::vec(0u64..5_000_000, 2..80),
+        speed in prop_oneof![Just(0.25f64), Just(0.5), Just(1.0), Just(2.0), Just(4.0)],
+    ) {
+        offsets.sort_unstable();
+        let clock = ReplayClock::synchronize(0, 0).with_speed(speed);
+        let targets: Vec<u64> = offsets.iter().map(|&o| clock.target_real_us(o)).collect();
+        for (w_off, w_t) in offsets.windows(2).zip(targets.windows(2)) {
+            prop_assert!(w_t[0] <= w_t[1], "scaling reordered the schedule");
+            let want = (w_off[1] - w_off[0]) as f64 * speed;
+            let got = (w_t[1] - w_t[0]) as f64;
+            prop_assert!(
+                (got - want).abs() <= 1.0,
+                "gap {} scaled to {got}, wanted {want}", w_off[1] - w_off[0]
+            );
+        }
+    }
+
+    /// The batched send path never reorders a source's queries across
+    /// batch boundaries: for any input, batch size, tree shape, and flush
+    /// horizon, concatenating each querier's batches in flush order yields
+    /// the input order restricted to that querier — and every source lands
+    /// on exactly one querier.
+    #[test]
+    fn batcher_never_reorders_across_batches(
+        recs in proptest::collection::vec((0u32..8, 0u64..1_000), 1..300),
+        batch_size in 1usize..64,
+        distributors in 1usize..4,
+        queriers in 1usize..4,
+        horizon in prop_oneof![Just(u64::MAX), Just(50u64)],
+    ) {
+        let plan = ReplayPlan::new(distributors, queriers);
+        let mut batcher: Batcher<(u32, usize)> = Batcher::new(plan, batch_size, horizon);
+        let mut out: Vec<(usize, Vec<(u32, usize)>)> = Vec::new();
+        let mut time = 0u64;
+        for (i, &(src, gap)) in recs.iter().enumerate() {
+            time += gap;
+            batcher.push(ip(src), time, (src, i), &mut out);
+        }
+        out.extend(batcher.finish());
+
+        let total: usize = out.iter().map(|(_, b)| b.len()).sum();
+        prop_assert_eq!(total, recs.len(), "batcher lost or duplicated records");
+
+        let mut last_index: HashMap<usize, usize> = HashMap::new();
+        let mut source_home: HashMap<u32, usize> = HashMap::new();
+        for (q, batch) in &out {
+            for &(src, i) in batch {
+                if let Some(&prev) = last_index.get(q) {
+                    prop_assert!(
+                        prev < i,
+                        "querier {q} saw index {i} after {prev}: reordered across batches"
+                    );
+                }
+                last_index.insert(*q, i);
+                if let Some(&home) = source_home.get(&src) {
+                    prop_assert_eq!(home, *q, "source split across queriers");
+                } else {
+                    source_home.insert(src, *q);
+                }
+            }
         }
     }
 }

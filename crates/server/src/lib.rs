@@ -7,6 +7,8 @@
 //!   state (connections, handshakes, queries) into the memory/CPU numbers
 //!   the §5.2 experiments report,
 //! * [`cache`] — a TTL-respecting resolver cache with negative caching,
+//! * [`pktcache`] — a dnsdist-style UDP packet cache keyed on the raw
+//!   query wire, used by the live server's hot path,
 //! * [`recursive`] — iterative resolution logic (root → TLD → SLD walks),
 //! * [`sim`] — [`ldp_netsim`] node wrappers: a full authoritative server
 //!   node (UDP/TCP/TLS) with resource sampling, and a recursive resolver
@@ -19,6 +21,7 @@
 pub mod auth;
 pub mod cache;
 pub mod live;
+pub mod pktcache;
 pub mod recursive;
 pub mod resource;
 pub mod sim;

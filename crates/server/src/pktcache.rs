@@ -1,0 +1,123 @@
+//! UDP response packet cache.
+//!
+//! The authoritative engine is deterministic over static zones: the
+//! response wire is a pure function of (client IP, query wire minus the
+//! message id). Production DNS frontends exploit exactly this with a
+//! packet cache — dnsdist's `PacketCache` is the canonical example — and
+//! the live server here does the same so the §4.3 throughput experiments
+//! measure the *replay engine*, not redundant server-side re-encoding of
+//! one identical answer.
+//!
+//! Keys are the raw query bytes with the id zeroed (so retransmits and
+//! replayed duplicates with fresh ids still hit); values keep the client
+//! IP they were computed for, because [`crate::auth::AuthEngine::respond`]
+//! may vary by client view — the same wire from a different IP is a miss
+//! and recomputes.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Bounded map from query wire (id zeroed) to the response template.
+pub struct PacketCache {
+    map: HashMap<Vec<u8>, (IpAddr, Vec<u8>)>,
+    cap: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PacketCache {
+    /// `cap` bounds the number of distinct query wires kept; when full the
+    /// cache is cleared wholesale (replay workloads are heavily skewed, so
+    /// a cold restart refills with the hot set immediately).
+    pub fn new(cap: usize) -> PacketCache {
+        PacketCache {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `wire` (already id-zeroed) for `client`. On a hit, returns
+    /// the response bytes with `id` patched in.
+    pub fn get(&mut self, client: IpAddr, wire: &[u8], id: u16) -> Option<Vec<u8>> {
+        match self.map.get(wire) {
+            Some((ip, template)) if *ip == client => {
+                self.hits += 1;
+                let mut bytes = template.clone();
+                if bytes.len() >= 2 {
+                    bytes[0..2].copy_from_slice(&id.to_be_bytes());
+                }
+                Some(bytes)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the response template for `wire` (id zeroed on both sides).
+    pub fn put(&mut self, client: IpAddr, wire: &[u8], response: &[u8]) {
+        if self.map.len() >= self.cap {
+            self.map.clear();
+        }
+        let mut template = response.to_vec();
+        if template.len() >= 2 {
+            template[0..2].copy_from_slice(&[0, 0]);
+        }
+        self.map.insert(wire.to_vec(), (client, template));
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn hit_patches_requested_id() {
+        let mut c = PacketCache::new(16);
+        let query = [0, 0, 1, 2, 3];
+        c.put(ip("127.0.0.1"), &query, &[9, 9, 42, 43]);
+        let got = c.get(ip("127.0.0.1"), &query, 0xBEEF).unwrap();
+        assert_eq!(got, vec![0xBE, 0xEF, 42, 43], "id patched, body intact");
+        // A retransmit under another id hits the same entry.
+        let again = c.get(ip("127.0.0.1"), &query, 7).unwrap();
+        assert_eq!(&again[2..], &[42, 43]);
+        assert_eq!((c.hits, c.misses), (2, 0));
+    }
+
+    #[test]
+    fn different_client_ip_misses() {
+        let mut c = PacketCache::new(16);
+        let query = [0, 0, 1];
+        c.put(ip("127.0.0.1"), &query, &[0, 0, 1]);
+        assert!(
+            c.get(ip("10.0.0.9"), &query, 1).is_none(),
+            "view-dependent answers must not leak across clients"
+        );
+        assert_eq!((c.hits, c.misses), (0, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_the_map() {
+        let mut c = PacketCache::new(4);
+        for i in 0u8..32 {
+            c.put(ip("127.0.0.1"), &[0, 0, i], &[0, 0, i]);
+            assert!(c.len() <= 4, "cap respected after {i} inserts");
+        }
+        assert!(!c.is_empty());
+    }
+}

@@ -38,6 +38,11 @@ impl<W: Write> CaptureWriter<W> {
     /// Appends one record.
     pub fn write(&mut self, rec: &TraceRecord) -> Result<(), TraceError> {
         let wire = rec.message.to_bytes()?;
+        let wire_len = u16::try_from(wire.len()).map_err(|_| TraceError::Oversize {
+            what: "capture frame wire_len",
+            len: wire.len(),
+            max: u16::MAX as usize,
+        })?;
         let mut buf = Vec::with_capacity(wire.len() + 48);
         buf.extend_from_slice(&rec.time_us.to_be_bytes());
         match (rec.src, rec.dst) {
@@ -67,7 +72,7 @@ impl<W: Write> CaptureWriter<W> {
             Direction::Query => 0,
             Direction::Response => 1,
         });
-        buf.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&wire_len.to_be_bytes());
         buf.extend_from_slice(&wire);
         self.inner.write_all(&buf)?;
         self.frames += 1;

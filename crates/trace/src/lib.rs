@@ -41,6 +41,17 @@ pub enum TraceError {
         offset: u64,
         reason: String,
     },
+    /// A value does not fit the on-disk field that must carry it (e.g. a
+    /// DNS message longer than a `u16` length prefix). Writers return this
+    /// instead of silently truncating the length and corrupting the file.
+    Oversize {
+        /// Which field overflowed (e.g. "stream frame wire_len").
+        what: &'static str,
+        /// The value that did not fit.
+        len: usize,
+        /// The largest value the field can carry.
+        max: usize,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -50,6 +61,9 @@ impl fmt::Display for TraceError {
             TraceError::Wire(e) => write!(f, "trace wire error: {e}"),
             TraceError::Format { offset, reason } => {
                 write!(f, "malformed trace at offset {offset}: {reason}")
+            }
+            TraceError::Oversize { what, len, max } => {
+                write!(f, "{what} of {len} exceeds the field maximum {max}")
             }
         }
     }

@@ -365,49 +365,77 @@ pub fn write_pcap<W: Write>(mut out: W, records: &[TraceRecord]) -> Result<(), T
         match (rec.src, rec.dst) {
             (IpAddr::V4(s), IpAddr::V4(d)) => {
                 frame.extend_from_slice(&0x0800u16.to_be_bytes());
-                let udp_len = 8 + dns.len();
-                let total = 20 + udp_len;
+                let udp_len = udp_len_u16(&dns)?;
+                // The IPv4 total-length field is also u16, and the 28 bytes
+                // of IP+UDP headers can push an otherwise-legal DNS payload
+                // over the top — check the sum, not just the payload.
+                let total =
+                    u16::try_from(20 + 8 + dns.len()).map_err(|_| TraceError::Oversize {
+                        what: "pcap ipv4 total_len",
+                        len: 20 + 8 + dns.len(),
+                        max: u16::MAX as usize,
+                    })?;
                 frame.push(0x45);
                 frame.push(0);
-                frame.extend_from_slice(&(total as u16).to_be_bytes());
+                frame.extend_from_slice(&total.to_be_bytes());
                 frame.extend_from_slice(&[0, 0, 0, 0]); // id, flags/frag
                 frame.push(64); // ttl
                 frame.push(17); // udp
                 frame.extend_from_slice(&[0, 0]); // checksum (omitted)
                 frame.extend_from_slice(&s.octets());
                 frame.extend_from_slice(&d.octets());
-                write_udp(&mut frame, rec, &dns);
+                write_udp(&mut frame, rec, &dns, udp_len);
             }
             (IpAddr::V6(s), IpAddr::V6(d)) => {
                 frame.extend_from_slice(&0x86DDu16.to_be_bytes());
-                let udp_len = 8 + dns.len();
+                let udp_len = udp_len_u16(&dns)?;
                 frame.push(0x60);
                 frame.extend_from_slice(&[0, 0, 0]);
-                frame.extend_from_slice(&(udp_len as u16).to_be_bytes());
+                frame.extend_from_slice(&udp_len.to_be_bytes());
                 frame.push(17); // next header: udp
                 frame.push(64); // hop limit
                 frame.extend_from_slice(&s.octets());
                 frame.extend_from_slice(&d.octets());
-                write_udp(&mut frame, rec, &dns);
+                write_udp(&mut frame, rec, &dns, udp_len);
             }
             _ => {
                 return Err(fmt_err(0, "mixed v4/v6 endpoints in one record"));
             }
         }
-        // Record header.
-        out.write_all(&((rec.time_us / 1_000_000) as u32).to_be_bytes())?;
+        // Record header. The classic pcap timestamp is u32 seconds, so a
+        // trace time past 2^32 seconds (~136 years of offset) cannot be
+        // represented — reject it rather than wrapping the clock.
+        let secs = u32::try_from(rec.time_us / 1_000_000).map_err(|_| TraceError::Oversize {
+            what: "pcap timestamp seconds",
+            len: (rec.time_us / 1_000_000) as usize,
+            max: u32::MAX as usize,
+        })?;
+        out.write_all(&secs.to_be_bytes())?;
+        // ldp-lint: allow(r2) -- remainder of /1_000_000 is < 1e6, in u32 range
         out.write_all(&((rec.time_us % 1_000_000) as u32).to_be_bytes())?;
-        out.write_all(&(frame.len() as u32).to_be_bytes())?;
-        out.write_all(&(frame.len() as u32).to_be_bytes())?;
+        // ldp-lint: allow(r2) -- frame is headers + a <=64KiB DNS payload, in u32 range
+        let caplen = frame.len() as u32;
+        out.write_all(&caplen.to_be_bytes())?;
+        out.write_all(&caplen.to_be_bytes())?;
         out.write_all(&frame)?;
     }
     Ok(())
 }
 
-fn write_udp(frame: &mut Vec<u8>, rec: &TraceRecord, dns: &[u8]) {
+/// The UDP length field (header + DNS payload) as the u16 the wire format
+/// requires, or [`TraceError::Oversize`] if the payload cannot fit.
+fn udp_len_u16(dns: &[u8]) -> Result<u16, TraceError> {
+    u16::try_from(8 + dns.len()).map_err(|_| TraceError::Oversize {
+        what: "pcap udp_len",
+        len: 8 + dns.len(),
+        max: u16::MAX as usize,
+    })
+}
+
+fn write_udp(frame: &mut Vec<u8>, rec: &TraceRecord, dns: &[u8], udp_len: u16) {
     frame.extend_from_slice(&rec.src_port.to_be_bytes());
     frame.extend_from_slice(&rec.dst_port.to_be_bytes());
-    frame.extend_from_slice(&((8 + dns.len()) as u16).to_be_bytes());
+    frame.extend_from_slice(&udp_len.to_be_bytes());
     frame.extend_from_slice(&[0, 0]); // checksum omitted (valid per RFC 768)
     frame.extend_from_slice(dns);
 }
@@ -415,7 +443,96 @@ fn write_udp(frame: &mut Vec<u8>, rec: &TraceRecord, dns: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldp_wire::{Name, RrType};
+    use ldp_wire::{Name, RData, Record, RrType};
+
+    /// Builds a TCP record whose DNS message legally encodes to >64 KiB
+    /// but at most 65,535 bytes: one maximal TXT answer (255 strings of
+    /// 255 bytes) bulk-fills it, then empty TXT records (≤21 bytes each)
+    /// nudge the encoding above `floor` without overshooting the message
+    /// cap. The result fits the DNS length fields but overflows the
+    /// pcap IPv4 total-length field once 28 header bytes are added.
+    fn big_tcp_record(floor: usize) -> TraceRecord {
+        let name = Name::parse("big.example.com").unwrap();
+        let mut rec = TraceRecord::udp_query(
+            0,
+            "10.0.0.1".parse().unwrap(),
+            40_000,
+            name.clone(),
+            RrType::Txt,
+        );
+        rec.protocol = Protocol::Tcp;
+        rec.message.answers.push(Record::new(
+            name.clone(),
+            60,
+            RData::Txt(vec![vec![b'x'; 255]; 255]),
+        ));
+        while rec.message.to_bytes().expect("must stay <= 65535").len() <= floor {
+            rec.message
+                .answers
+                .push(Record::new(name.clone(), 60, RData::Txt(vec![])));
+        }
+        rec
+    }
+
+    #[test]
+    fn oversize_ipv4_framing_rejected_not_wrapped() {
+        // A legal >64 KiB TCP payload that no longer fits once pcap adds
+        // IP+UDP headers: the writer must fail typed, not wrap the u16
+        // length fields and emit a corrupt capture.
+        let rec = big_tcp_record(65_508);
+        let wire_len = rec.message.to_bytes().unwrap().len();
+        assert!(wire_len > 65_507 && wire_len <= 65_535, "got {wire_len}");
+        let mut bytes = Vec::new();
+        match write_pcap(&mut bytes, std::slice::from_ref(&rec)) {
+            Err(TraceError::Oversize { len, max, .. }) => {
+                assert!(len > max, "{len} should exceed {max}");
+            }
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_max_payload_survives_other_writers() {
+        // The same >64 KiB payload still fits the capture/stream u16
+        // wire_len field exactly, so those writers must round-trip it.
+        let rec = big_tcp_record(65_508);
+        let back = crate::capture::from_bytes(
+            &crate::capture::to_bytes(std::slice::from_ref(&rec)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back[0].message, rec.message);
+        let back = crate::stream::from_bytes(
+            &crate::stream::to_bytes(std::slice::from_ref(&rec)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back[0].message, rec.message);
+    }
+
+    #[test]
+    fn too_long_message_fails_typed_in_every_writer() {
+        // Past 65,535 bytes the message itself is unencodable; every
+        // writer must surface the typed wire error rather than truncate.
+        let mut rec = big_tcp_record(65_508);
+        rec.message.answers.push(Record::new(
+            Name::parse("big.example.com").unwrap(),
+            60,
+            RData::Txt(vec![vec![b'y'; 255]]),
+        ));
+        assert!(rec.message.to_bytes().is_err());
+        let mut bytes = Vec::new();
+        assert!(matches!(
+            write_pcap(&mut bytes, std::slice::from_ref(&rec)),
+            Err(TraceError::Wire(_))
+        ));
+        assert!(matches!(
+            crate::capture::to_bytes(std::slice::from_ref(&rec)),
+            Err(TraceError::Wire(_))
+        ));
+        assert!(matches!(
+            crate::stream::to_bytes(std::slice::from_ref(&rec)),
+            Err(TraceError::Wire(_))
+        ));
+    }
 
     fn sample(n: usize) -> Vec<TraceRecord> {
         (0..n)

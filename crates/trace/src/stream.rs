@@ -33,6 +33,11 @@ const MAGIC: &[u8; 4] = b"LDPS";
 /// Serializes one record into a stream frame (without the length prefix).
 pub fn encode_frame(rec: &TraceRecord) -> Result<Vec<u8>, TraceError> {
     let wire = rec.message.to_bytes()?;
+    let wire_len = u16::try_from(wire.len()).map_err(|_| TraceError::Oversize {
+        what: "stream frame wire_len",
+        len: wire.len(),
+        max: u16::MAX as usize,
+    })?;
     let mut buf = Vec::with_capacity(wire.len() + 32);
     buf.extend_from_slice(&rec.time_us.to_be_bytes());
     match rec.src {
@@ -47,7 +52,7 @@ pub fn encode_frame(rec: &TraceRecord) -> Result<Vec<u8>, TraceError> {
     }
     buf.extend_from_slice(&rec.src_port.to_be_bytes());
     buf.push(rec.protocol.tag());
-    buf.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+    buf.extend_from_slice(&wire_len.to_be_bytes());
     buf.extend_from_slice(&wire);
     Ok(buf)
 }
@@ -119,7 +124,12 @@ impl<W: Write> StreamWriter<W> {
 
     pub fn write(&mut self, rec: &TraceRecord) -> Result<(), TraceError> {
         let frame = encode_frame(rec)?;
-        self.inner.write_all(&(frame.len() as u32).to_be_bytes())?;
+        let frame_len = u32::try_from(frame.len()).map_err(|_| TraceError::Oversize {
+            what: "stream frame_len prefix",
+            len: frame.len(),
+            max: u32::MAX as usize,
+        })?;
+        self.inner.write_all(&frame_len.to_be_bytes())?;
         self.inner.write_all(&frame)?;
         self.frames += 1;
         Ok(())
@@ -136,9 +146,17 @@ impl<W: Write> StreamWriter<W> {
 }
 
 /// Streaming stream-file reader.
+///
+/// The reader owns a scratch buffer reused for every frame, so steady-state
+/// decoding allocates only what the decoded [`TraceRecord`] itself needs —
+/// the per-record frame allocation is amortized away, which matters at the
+/// millions-of-records scale the replay pipeline reads.
 pub struct StreamReader<R: Read> {
     inner: R,
     offset: u64,
+    /// Reusable frame buffer (the decode arena): grown on demand, never
+    /// shrunk, so reads after warmup are allocation-free.
+    scratch: Vec<u8>,
 }
 
 impl<R: Read> StreamReader<R> {
@@ -151,7 +169,11 @@ impl<R: Read> StreamReader<R> {
                 reason: "bad stream magic".into(),
             });
         }
-        Ok(StreamReader { inner, offset: 4 })
+        Ok(StreamReader {
+            inner,
+            offset: 4,
+            scratch: Vec::new(),
+        })
     }
 
     /// Reads the next record; `Ok(None)` at clean EOF.
@@ -172,21 +194,70 @@ impl<R: Read> StreamReader<R> {
             got += n;
         }
         let len = u32::from_be_bytes(lenbuf) as usize;
-        let mut frame = vec![0u8; len];
+        self.scratch.resize(len, 0);
         self.inner
-            .read_exact(&mut frame)
+            .read_exact(&mut self.scratch)
             .map_err(|_| TraceError::Format {
                 offset: self.offset,
                 reason: "truncated frame".into(),
             })?;
         self.offset += 4 + len as u64;
-        decode_frame(&frame).map(Some).map_err(|e| match e {
+        decode_frame(&self.scratch).map(Some).map_err(|e| match e {
             TraceError::Format { reason, .. } => TraceError::Format {
                 offset: self.offset,
                 reason,
             },
             other => other,
         })
+    }
+
+    /// Fills `batch` with up to `max` records, reusing the batch's spine
+    /// and this reader's scratch buffer. Returns the number of records
+    /// appended; `0` means clean EOF. The batch is *not* cleared first, so
+    /// callers can top up a partially drained batch.
+    pub fn read_batch(&mut self, batch: &mut RecordBatch, max: usize) -> Result<usize, TraceError> {
+        let mut appended = 0;
+        while appended < max {
+            match self.read()? {
+                Some(rec) => {
+                    batch.records.push(rec);
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(appended)
+    }
+}
+
+/// A reusable decode batch: the unit of work the replay pipeline's Reader
+/// hands to queriers. Clearing a batch keeps the spine's capacity, so a
+/// recycled batch makes `read_batch` allocation-free at steady state
+/// (aside from per-record message payloads).
+#[derive(Debug, Default)]
+pub struct RecordBatch {
+    /// The decoded records, in stream order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl RecordBatch {
+    pub fn with_capacity(cap: usize) -> RecordBatch {
+        RecordBatch {
+            records: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Drops the records but keeps the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
     }
 }
 

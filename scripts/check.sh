@@ -15,4 +15,11 @@ cargo ldp-lint
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> bench smoke (fig09 on a tiny trace)"
+LDP_SCALE=0.05 LDP_RESULTS=results cargo run -q --release -p ldp-bench --bin fig09_throughput
+test -s results/BENCH_fig09.json || {
+    echo "bench smoke failed: results/BENCH_fig09.json missing or empty" >&2
+    exit 1
+}
+
 echo "All checks passed."

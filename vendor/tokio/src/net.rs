@@ -43,6 +43,304 @@ impl UdpSocket {
     pub async fn recv(&self, buf: &mut [u8]) -> io::Result<usize> {
         self.inner.recv(buf)
     }
+
+    /// Sends each buffer as one datagram to `target`, batching up to
+    /// [`mmsg::MAX_BATCH`] datagrams per `sendmmsg(2)` kernel entry on
+    /// Linux (one `send_to` each elsewhere). Returns how many datagrams
+    /// the kernel accepted; a short count means it refused the tail
+    /// (e.g. buffer pressure) and the caller may retry the remainder.
+    pub async fn send_many_to(&self, bufs: &[&[u8]], target: SocketAddr) -> io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            mmsg::send_many(&self.inner, bufs, Some(target))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut sent = 0;
+            for buf in bufs {
+                self.inner.send_to(buf, target)?;
+                sent += 1;
+            }
+            Ok(sent)
+        }
+    }
+
+    /// Like [`UdpSocket::send_many_to`], but each datagram carries its own
+    /// destination (a server answering a batch of distinct peers).
+    pub async fn send_many_to_each(&self, msgs: &[(&[u8], SocketAddr)]) -> io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            mmsg::send_many_each(&self.inner, msgs)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut sent = 0;
+            for (buf, target) in msgs {
+                self.inner.send_to(buf, *target)?;
+                sent += 1;
+            }
+            Ok(sent)
+        }
+    }
+
+    /// Receives up to `bufs.len()` datagrams with one `recvmmsg(2)` kernel
+    /// entry on Linux: blocks until at least one arrives, then drains
+    /// whatever else is already queued without further syscalls. Datagram
+    /// `i` lands in `bufs[i]`; the return value gives `(length, peer)` per
+    /// received datagram, in order. Falls back to a single `recv_from`
+    /// elsewhere.
+    pub async fn recv_many(&self, bufs: &mut [Vec<u8>]) -> io::Result<Vec<(usize, SocketAddr)>> {
+        #[cfg(target_os = "linux")]
+        {
+            mmsg::recv_many(&self.inner, bufs)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let Some(first) = bufs.first_mut() else {
+                return Ok(Vec::new());
+            };
+            let (len, peer) = self.inner.recv_from(first)?;
+            Ok(vec![(len, peer)])
+        }
+    }
+}
+
+/// Batched UDP syscalls (`sendmmsg`/`recvmmsg`): one kernel entry moves a
+/// whole batch of datagrams, which is the difference between syscall-bound
+/// and CPU-bound replay on a single core. Declared directly (like
+/// `setsockopt` above) so the std-only build needs no libc crate.
+#[cfg(target_os = "linux")]
+mod mmsg {
+    use std::io;
+    use std::net::{SocketAddr, UdpSocket};
+    use std::os::fd::AsRawFd;
+
+    /// Datagrams per kernel entry (Linux caps msgvec at UIO_MAXIOV).
+    pub const MAX_BATCH: usize = 1024;
+
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    /// recvmmsg: block for the first datagram, then return what's queued.
+    const MSG_WAITFORONE: i32 = 0x10000;
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut u8,
+        len: usize,
+    }
+
+    /// glibc x86-64 `struct msghdr` layout; repr(C) reproduces the padding
+    /// after `namelen` and `flags`.
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut u8,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut u8,
+        controllen: usize,
+        flags: i32,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    extern "C" {
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn recvmmsg(
+            fd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut u8,
+        ) -> i32;
+    }
+
+    /// Raw sockaddr storage: sized for sockaddr_in6, the larger of the two.
+    const SOCKADDR_LEN: usize = 28;
+
+    fn encode_sockaddr(target: SocketAddr) -> ([u8; SOCKADDR_LEN], u32) {
+        let mut out = [0u8; SOCKADDR_LEN];
+        match target {
+            SocketAddr::V4(v4) => {
+                out[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
+                out[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                out[4..8].copy_from_slice(&v4.ip().octets());
+                (out, 16)
+            }
+            SocketAddr::V6(v6) => {
+                out[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
+                out[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                out[4..8].copy_from_slice(&v6.flowinfo().to_ne_bytes());
+                out[8..24].copy_from_slice(&v6.ip().octets());
+                out[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                (out, 28)
+            }
+        }
+    }
+
+    fn decode_sockaddr(raw: &[u8; SOCKADDR_LEN]) -> Option<SocketAddr> {
+        let family = u16::from_ne_bytes([raw[0], raw[1]]);
+        let port = u16::from_be_bytes([raw[2], raw[3]]);
+        if family == AF_INET {
+            let ip: [u8; 4] = raw[4..8].try_into().ok()?;
+            Some(SocketAddr::from((ip, port)))
+        } else if family == AF_INET6 {
+            let ip: [u8; 16] = raw[8..24].try_into().ok()?;
+            Some(SocketAddr::from((ip, port)))
+        } else {
+            None
+        }
+    }
+
+    pub fn send_many(socket: &UdpSocket, bufs: &[&[u8]], target: Option<SocketAddr>) -> io::Result<usize> {
+        let (mut name, namelen) = match target {
+            Some(t) => encode_sockaddr(t),
+            None => ([0u8; SOCKADDR_LEN], 0),
+        };
+        let fd = socket.as_raw_fd();
+        let mut sent = 0usize;
+        for chunk in bufs.chunks(MAX_BATCH) {
+            let mut iovs: Vec<IoVec> = chunk
+                .iter()
+                .map(|b| IoVec {
+                    base: b.as_ptr() as *mut u8,
+                    len: b.len(),
+                })
+                .collect();
+            let mut msgs: Vec<MMsgHdr> = (0..iovs.len())
+                .map(|i| MMsgHdr {
+                    hdr: MsgHdr {
+                        name: if namelen == 0 {
+                            std::ptr::null_mut()
+                        } else {
+                            name.as_mut_ptr()
+                        },
+                        namelen,
+                        iov: &mut iovs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            // SAFETY: every pointer in msgvec (iovecs, buffers, the shared
+            // sockaddr) outlives the call; vlen matches the vector length.
+            let n = unsafe { sendmmsg(fd, msgs.as_mut_ptr(), msgs.len() as u32, 0) };
+            if n < 0 {
+                if sent > 0 {
+                    return Ok(sent);
+                }
+                return Err(io::Error::last_os_error());
+            }
+            sent += n as usize;
+            if (n as usize) < chunk.len() {
+                return Ok(sent);
+            }
+        }
+        Ok(sent)
+    }
+
+    pub fn send_many_each(socket: &UdpSocket, msgs_in: &[(&[u8], SocketAddr)]) -> io::Result<usize> {
+        let fd = socket.as_raw_fd();
+        let mut sent = 0usize;
+        for chunk in msgs_in.chunks(MAX_BATCH) {
+            let mut names: Vec<([u8; SOCKADDR_LEN], u32)> =
+                chunk.iter().map(|(_, t)| encode_sockaddr(*t)).collect();
+            let mut iovs: Vec<IoVec> = chunk
+                .iter()
+                .map(|(b, _)| IoVec {
+                    base: b.as_ptr() as *mut u8,
+                    len: b.len(),
+                })
+                .collect();
+            let mut msgs: Vec<MMsgHdr> = (0..iovs.len())
+                .map(|i| MMsgHdr {
+                    hdr: MsgHdr {
+                        name: names[i].0.as_mut_ptr(),
+                        namelen: names[i].1,
+                        iov: &mut iovs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            // SAFETY: as in send_many; each message's sockaddr storage
+            // lives in `names` for the duration of the call.
+            let n = unsafe { sendmmsg(fd, msgs.as_mut_ptr(), msgs.len() as u32, 0) };
+            if n < 0 {
+                if sent > 0 {
+                    return Ok(sent);
+                }
+                return Err(io::Error::last_os_error());
+            }
+            sent += n as usize;
+            if (n as usize) < chunk.len() {
+                return Ok(sent);
+            }
+        }
+        Ok(sent)
+    }
+
+    pub fn recv_many(socket: &UdpSocket, bufs: &mut [Vec<u8>]) -> io::Result<Vec<(usize, SocketAddr)>> {
+        if bufs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let count = bufs.len().min(MAX_BATCH);
+        let fd = socket.as_raw_fd();
+        let mut names: Vec<[u8; SOCKADDR_LEN]> = vec![[0u8; SOCKADDR_LEN]; count];
+        let mut iovs: Vec<IoVec> = bufs[..count]
+            .iter_mut()
+            .map(|b| IoVec {
+                base: b.as_mut_ptr(),
+                len: b.len(),
+            })
+            .collect();
+        let mut msgs: Vec<MMsgHdr> = (0..count)
+            .map(|i| MMsgHdr {
+                hdr: MsgHdr {
+                    name: names[i].as_mut_ptr(),
+                    namelen: SOCKADDR_LEN as u32,
+                    iov: &mut iovs[i],
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            })
+            .collect();
+        // SAFETY: all buffers, iovecs and sockaddr slots outlive the call;
+        // MSG_WAITFORONE blocks for the first datagram only.
+        let n = unsafe {
+            recvmmsg(
+                fd,
+                msgs.as_mut_ptr(),
+                count as u32,
+                MSG_WAITFORONE,
+                std::ptr::null_mut(),
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n as usize {
+            let Some(peer) = decode_sockaddr(&names[i]) else {
+                continue;
+            };
+            out.push((msgs[i].len as usize, peer));
+        }
+        Ok(out)
+    }
 }
 
 /// Best-effort SO_RCVBUF/SO_SNDBUF bump. Real tokio drains sockets from an
