@@ -83,6 +83,10 @@ async fn main() {
         mode: ReplayMode::Fast,
         drain: std::time::Duration::from_millis(50),
         progress: Some(progress.clone()),
+        // Raw send capacity: a blast replay intentionally overruns the
+        // server, and retransmitting the overrun would measure the retry
+        // ladder, not the generator.
+        retry: ldp_replay::RetryPolicy::disabled(),
         ..LiveReplay::new(server.addr)
     };
     let budget = Duration::from_secs_f64(budget_s);

@@ -73,6 +73,10 @@ async fn main() {
             mode: ReplayMode::Fast,
             drain: std::time::Duration::from_millis(50),
             batch_size,
+            // Raw send capacity: blast mode overruns the server on
+            // purpose; retransmitting the overrun would measure the
+            // retry ladder, not the pipeline.
+            retry: ldp_replay::RetryPolicy::disabled(),
             ..LiveReplay::new(server.addr)
         };
         let t0 = Instant::now();

@@ -7,6 +7,7 @@
 //! | R2   | `lossy-cast`       | `as u8`/`as u16`/`as u32` in wire-format code              |
 //! | R3   | `blocking-async`   | `thread::sleep` / blocking I/O inside async bodies         |
 //! | R4   | `parser-roundtrip` | public parser entry points without a round-trip test       |
+//! | R5   | `swallowed-send`   | `let _ = …send…(…)` discarding I/O results in hot paths    |
 //!
 //! Escape hatch (requires a reason):
 //! `// ldp-lint: allow(r1) -- justification`, either trailing on the
@@ -30,10 +31,14 @@ pub use rules::{
     check_r4, entry_points, roundtrip_tests, Diagnostic, FileAnalysis, FileScope, Rule,
 };
 
-/// Hot-path modules for R1: every file in these crates' `src` trees...
+/// Hot-path modules for R1/R5: every file in these crates' `src` trees...
 const HOT_PATH_CRATES: &[&str] = &["wire", "server", "proxy"];
 /// ...plus these individual files.
-const HOT_PATH_FILES: &[&str] = &["crates/replay/src/engine.rs", "crates/netsim/src/tcp.rs"];
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/replay/src/engine.rs",
+    "crates/replay/src/retry.rs",
+    "crates/netsim/src/tcp.rs",
+];
 
 /// Crates whose parser entry points R4 audits.
 const R4_CRATES: &[&str] = &["wire", "zone"];
@@ -183,6 +188,8 @@ mod tests {
         assert!(s.hot_path && s.wire);
         let s = workspace_scope(Path::new("crates/replay/src/engine.rs"));
         assert!(s.hot_path && !s.wire);
+        let s = workspace_scope(Path::new("crates/replay/src/retry.rs"));
+        assert!(s.hot_path, "the retry layer rides the engine hot path");
         let s = workspace_scope(Path::new("crates/replay/src/plan.rs"));
         assert!(!s.hot_path);
         let s = workspace_scope(Path::new("crates/netsim/src/tcp.rs"));

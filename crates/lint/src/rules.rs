@@ -1,4 +1,4 @@
-//! The four project rules. Each check walks the token stream of one file;
+//! The five project rules. Each check walks the token stream of one file;
 //! R4 additionally correlates parser entry points with round-trip tests
 //! across a whole crate.
 
@@ -20,6 +20,9 @@ pub enum Rule {
     R3,
     /// Public parser entry points need a round-trip test (name convention).
     R4,
+    /// No `let _ = ...send...(...)` in hot-path modules: a discarded send
+    /// result silently swallows an I/O failure the replay must account for.
+    R5,
     /// Meta: a malformed or unknown `ldp-lint:` directive.
     Directive,
 }
@@ -31,6 +34,7 @@ impl Rule {
             "r2" | "lossy-cast" => Some(Rule::R2),
             "r3" | "blocking-async" => Some(Rule::R3),
             "r4" | "parser-roundtrip" => Some(Rule::R4),
+            "r5" | "swallowed-send" => Some(Rule::R5),
             _ => None,
         }
     }
@@ -41,6 +45,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
             Rule::Directive => "directive",
         }
     }
@@ -144,6 +149,7 @@ impl FileAnalysis {
         }
         if scope.hot_path {
             self.check_r1(&mut diags);
+            self.check_r5(&mut diags);
         }
         if scope.wire {
             self.check_r2(&mut diags);
@@ -283,6 +289,45 @@ impl FileAnalysis {
                      use `tokio::task::spawn_blocking`"
                         .to_string(),
                 );
+            }
+        }
+    }
+
+    /// R5: `let _ = ...send...(...)` outside `#[cfg(test)]`. Discarding a
+    /// send result in hot-path code swallows the very failures the
+    /// fault-tolerance counters exist to account for.
+    fn check_r5(&self, diags: &mut Vec<Diagnostic>) {
+        let toks = &self.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("let") || in_any(&self.test_spans, t.line) {
+                continue;
+            }
+            if !(toks.get(i + 1).is_some_and(|n| n.is_ident("_"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('=')))
+            {
+                continue;
+            }
+            // Scan the initializer (up to its terminating `;`) for a call
+            // to an identifier containing `send`.
+            for j in i + 3..toks.len() {
+                if toks[j].is_punct(';') {
+                    break;
+                }
+                let Some(name) = toks[j].ident() else {
+                    continue;
+                };
+                if name.contains("send") && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                    self.diag(
+                        diags,
+                        t.line,
+                        Rule::R5,
+                        format!(
+                            "`let _ =` discards the result of `{name}(...)` in hot-path \
+                             code; handle the error or count the failure"
+                        ),
+                    );
+                    break;
+                }
             }
         }
     }

@@ -5,5 +5,8 @@ pub fn sync_setup() {
 }
 
 pub async fn handler(tx: tokio::sync::mpsc::Sender<u8>) {
-    let _ = tx.send(1).await;
+    if tx.send(1).await.is_err() {
+        return;
+    }
+    tokio::time::sleep(std::time::Duration::from_millis(1)).await;
 }

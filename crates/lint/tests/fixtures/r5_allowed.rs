@@ -1,0 +1,6 @@
+// R5 fixture: a justified escape hatch suppresses the diagnostic.
+pub fn hot(tx: &std::sync::mpsc::Sender<u8>) {
+    let _ = tx.send(1); // ldp-lint: allow(r5) -- fire-and-forget wakeup, loss is benign
+    // ldp-lint: allow(swallowed-send) -- fixture exercises the alias form
+    let _ = tx.send(2);
+}

@@ -1,0 +1,19 @@
+// R5 fixture: handled send results (and non-send discards) are fine.
+pub fn hot(sock: &std::net::UdpSocket, buf: &[u8]) -> std::io::Result<()> {
+    let sent = sock.send(buf)?;
+    if sock.send(buf).is_err() {
+        return Ok(());
+    }
+    let _ = sent;
+    let _ = buf.len();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_discard_sends() {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let _ = tx.send(1u8);
+    }
+}

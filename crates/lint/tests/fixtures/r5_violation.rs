@@ -1,0 +1,7 @@
+// R5 fixture: discarded send results in (what fixture mode treats as)
+// hot-path code.
+pub fn hot(sock: &std::net::UdpSocket, tx: &std::sync::mpsc::Sender<u8>, buf: &[u8]) {
+    let _ = sock.send(buf);
+    let _ = sock.send_to(buf, "127.0.0.1:53");
+    let _ = tx.send(1);
+}

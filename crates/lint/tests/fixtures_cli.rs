@@ -94,6 +94,13 @@ fn r4_fixtures() {
 }
 
 #[test]
+fn r5_fixtures() {
+    assert_violations(&["r5_violation.rs"], "R5", &[4, 5, 6]);
+    assert_clean(&["r5_clean.rs"]);
+    assert_clean(&["r5_allowed.rs"]);
+}
+
+#[test]
 fn malformed_directives_are_diagnosed() {
     let out = run(&["bad_directive.rs"]);
     assert_eq!(out.status.code(), Some(1));

@@ -103,6 +103,25 @@ pub struct ShardStats {
     /// Timed-mode sends that fired more than the lateness budget past
     /// their scaled deadline (always 0 in `Fast` mode).
     pub late: u64,
+    /// In-flight queries whose answer deadline expired (each expiry of
+    /// each attempt counts once, including the final one before giving
+    /// up) — "the server never answered in time".
+    pub timeouts: u64,
+    /// UDP retransmits actually put on the wire. Retransmits keep their
+    /// original query's outcome slot: they are never counted as new trace
+    /// queries in `sent`.
+    pub retries: u64,
+    /// TCP connections reopened after a previous connection to the same
+    /// source died (reset, refused write, or failed open).
+    pub reconnects: u64,
+    /// Queries abandoned after exhausting every attempt; their outcomes
+    /// report no latency. Distinguishes "server never answered" from
+    /// replay-side failures (`errors`).
+    pub gave_up: u64,
+    /// Querier-level replay failures degraded to per-record outcomes:
+    /// socket bind errors, connection opens that exhausted their retries,
+    /// and send errors. "The replay broke", as opposed to `timeouts`.
+    pub errors: u64,
     /// Batches drained from this shard's queue.
     pub batches: u64,
     /// Times the postman found this shard's queue full and had to wait —
@@ -125,11 +144,16 @@ impl ShardStats {
     /// One-line rendering for the experiment binaries' shard tables.
     pub fn row(&self) -> String {
         format!(
-            "shard {:<3} sent={:<9} answered={:<9} late={:<7} batches={:<7} stalls={:<6} maxdepth={:<4} meandepth={:.2}",
+            "shard {:<3} sent={:<9} answered={:<9} late={:<7} timeouts={:<6} retries={:<6} reconnects={:<4} gave_up={:<6} errors={:<5} batches={:<7} stalls={:<6} maxdepth={:<4} meandepth={:.2}",
             self.shard,
             self.sent,
             self.answered,
             self.late,
+            self.timeouts,
+            self.retries,
+            self.reconnects,
+            self.gave_up,
+            self.errors,
             self.batches,
             self.postman_stalls,
             self.max_queue_depth,
@@ -144,6 +168,11 @@ pub struct PipelineTotals {
     pub sent: u64,
     pub answered: u64,
     pub late: u64,
+    pub timeouts: u64,
+    pub retries: u64,
+    pub reconnects: u64,
+    pub gave_up: u64,
+    pub errors: u64,
     pub batches: u64,
     pub postman_stalls: u64,
     pub max_queue_depth: u32,
@@ -156,6 +185,11 @@ impl PipelineTotals {
             t.sent += s.sent;
             t.answered += s.answered;
             t.late += s.late;
+            t.timeouts += s.timeouts;
+            t.retries += s.retries;
+            t.reconnects += s.reconnects;
+            t.gave_up += s.gave_up;
+            t.errors += s.errors;
             t.batches += s.batches;
             t.postman_stalls += s.postman_stalls;
             t.max_queue_depth = t.max_queue_depth.max(s.max_queue_depth);
@@ -211,17 +245,41 @@ mod tests {
         a.sent = 10;
         a.late = 1;
         a.max_queue_depth = 3;
+        a.timeouts = 4;
+        a.retries = 3;
         let mut b = ShardStats::new(1);
         b.sent = 20;
         b.answered = 15;
         b.postman_stalls = 2;
         b.max_queue_depth = 9;
+        b.timeouts = 1;
+        b.reconnects = 2;
+        b.gave_up = 1;
+        b.errors = 5;
         let t = PipelineTotals::from_shards(&[a, b]);
         assert_eq!(t.sent, 30);
         assert_eq!(t.answered, 15);
         assert_eq!(t.late, 1);
         assert_eq!(t.postman_stalls, 2);
         assert_eq!(t.max_queue_depth, 9);
+        assert_eq!(t.timeouts, 5);
+        assert_eq!(t.retries, 3);
+        assert_eq!(t.reconnects, 2);
+        assert_eq!(t.gave_up, 1);
+        assert_eq!(t.errors, 5);
+    }
+
+    #[test]
+    fn shard_row_mentions_fault_counters() {
+        let mut s = ShardStats::new(2);
+        s.timeouts = 7;
+        s.retries = 3;
+        let row = s.row();
+        assert!(row.contains("timeouts=7"));
+        assert!(row.contains("retries=3"));
+        assert!(row.contains("reconnects=0"));
+        assert!(row.contains("gave_up=0"));
+        assert!(row.contains("errors=0"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 #![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
 
+pub mod backoff;
 pub mod loss;
 pub mod packet;
 pub mod quic;
@@ -35,6 +36,7 @@ pub mod tcp;
 pub mod time;
 pub mod tls;
 
+pub use backoff::Backoff;
 pub use loss::LossModel;
 pub use packet::{Packet, Payload, TcpWire};
 pub use quic::{QuicFrame, QuicServerSessions};

@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::net::{IpAddr, SocketAddr};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,7 @@ use ldp_metrics::ShardStats;
 use ldp_trace::{Protocol, TraceRecord};
 
 use crate::plan::{Batcher, ReplayPlan};
+use crate::retry::{FaultCounters, RetryPolicy};
 use crate::timing::ReplayClock;
 
 /// How the engine paces queries.
@@ -59,6 +60,18 @@ pub enum ReplayMode {
     Timed { speed: f64 },
     /// As fast as possible (load testing, §4.3).
     Fast,
+}
+
+/// Why a trace record degraded to an unsent (or unanswerable) outcome
+/// instead of aborting the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The querier could not bind a UDP socket for the record's source.
+    Bind,
+    /// TCP connect (including every reconnect attempt) failed.
+    Connect,
+    /// The kernel refused the send.
+    Send,
 }
 
 /// Per-query result.
@@ -77,6 +90,9 @@ pub struct ReplayOutcome {
     /// Original source address.
     pub src: IpAddr,
     pub protocol: Protocol,
+    /// Replay-side failure, if the record never (successfully) went on
+    /// the wire. Errored outcomes are excluded from `sent`.
+    pub error: Option<ReplayError>,
 }
 
 /// Full replay result.
@@ -87,6 +103,16 @@ pub struct ReplayReport {
     pub send_duration_us: u64,
     pub sent: u64,
     pub answered: u64,
+    /// Attempt expiries (every attempt counts, including the last).
+    pub timeouts: u64,
+    /// UDP retransmits put on the wire (never counted in `sent`).
+    pub retries: u64,
+    /// TCP connections reopened after a previous one died.
+    pub reconnects: u64,
+    /// Queries abandoned after exhausting every attempt.
+    pub gave_up: u64,
+    /// Records degraded to [`ReplayError`] outcomes.
+    pub errors: u64,
     /// Per-shard pipeline saturation counters, one entry per querier.
     pub shards: Vec<ShardStats>,
 }
@@ -132,7 +158,9 @@ impl ReplayReport {
 }
 
 /// What each querier task resolves to: its outcomes plus shard counters.
-type QuerierResult = std::io::Result<(Vec<ReplayOutcome>, ShardStats)>;
+/// Infallible by design — querier-level faults degrade to per-record
+/// [`ReplayError`] outcomes rather than aborting the replay.
+type QuerierResult = (Vec<ReplayOutcome>, ShardStats);
 
 /// Live replay configuration.
 #[derive(Debug, Clone)]
@@ -150,8 +178,13 @@ pub struct LiveReplay {
     /// flush partial batches on a trace-time horizon regardless, so
     /// pacing never waits on batch fill.
     pub batch_size: usize,
-    /// How long to wait for in-flight answers after the last send.
+    /// Hard cap on waiting for in-flight answers after the last send.
+    /// The drain is adaptive: a querier exits as soon as its in-flight
+    /// table empties (answered, retried out, or expired), so this bound
+    /// only bites when expiry is disabled or answers are still pending.
     pub drain: Duration,
+    /// Timeout/retransmit/reconnect policy (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
     /// Optional live send counter: queriers add each drained batch's send
     /// count here, so a long-running replay can be rate-sampled from the
     /// outside (the §4.3 experiment reads it every two seconds) without
@@ -171,6 +204,7 @@ impl LiveReplay {
             max_sockets_per_querier: 128,
             batch_size: 256,
             drain: Duration::from_millis(300),
+            retry: RetryPolicy::default(),
             progress: None,
         }
     }
@@ -309,6 +343,7 @@ impl LiveReplay {
             epoch,
             max_sockets: self.max_sockets_per_querier,
             drain: self.drain,
+            retry: self.retry.clone(),
             progress: self.progress.clone(),
         }
     }
@@ -321,10 +356,9 @@ impl LiveReplay {
         let mut outcomes = Vec::new();
         let mut shards: Vec<ShardStats> = Vec::new();
         for h in handles {
-            let joined = h
+            let (o, s) = h
                 .await
                 .map_err(|e| std::io::Error::other(format!("querier task failed: {e}")))?;
-            let (o, s) = joined?;
             outcomes.extend(o);
             shards.push(s);
         }
@@ -350,13 +384,19 @@ impl LiveReplay {
             .unwrap_or(0)
             .saturating_sub(outcomes.iter().map(|o| o.sent_offset_us).min().unwrap_or(0))
             .max(if outcomes.is_empty() { 0 } else { 1 });
-        let sent = outcomes.len() as u64;
+        let sent = outcomes.iter().filter(|o| o.error.is_none()).count() as u64;
         let answered = outcomes.iter().filter(|o| o.latency_us.is_some()).count() as u64;
+        let totals = ldp_metrics::PipelineTotals::from_shards(&shards);
         Ok(ReplayReport {
             outcomes,
             send_duration_us,
             sent,
             answered,
+            timeouts: totals.timeouts,
+            retries: totals.retries,
+            reconnects: totals.reconnects,
+            gave_up: totals.gave_up,
+            errors: totals.errors,
             shards,
         })
     }
@@ -377,37 +417,155 @@ const BATCH_HORIZON_US: u64 = 100_000;
 /// quartile window).
 const LATE_BUDGET_US: u64 = 10_000;
 
-/// Per-socket in-flight table indexed by message id: a flat 65 536-slot
+/// Which transport an in-flight query went out on — what the timeout
+/// sweeper needs to retransmit (UDP, by socket index) or give up (TCP;
+/// reconnection is a send-path concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SockRef {
+    Udp(u32),
+    Tcp,
+}
+
+/// Everything the receive and timeout paths need to know about one
+/// outstanding query.
+struct InFlight {
+    /// Latency-slot index the answer lands in.
+    slot: usize,
+    /// Send time of the *latest* attempt (latency baseline).
+    sent_at: Instant,
+    /// When the current attempt expires; `None` when expiry is disabled.
+    deadline: Option<Instant>,
+    /// 0 on the first send; bumped per retransmit. Wheel entries carry
+    /// the attempt they were scheduled for, so an answered-and-resent id
+    /// can't be expired by a stale entry.
+    attempt: u32,
+    sock: SockRef,
+    /// Encoded query for retransmission (UDP with retries enabled only —
+    /// the no-retry hot path never clones wires).
+    wire: Option<Box<[u8]>>,
+}
+
+/// Querier-wide in-flight table indexed by message id: a flat 65 536-slot
 /// array instead of a `HashMap<u16, _>` — no hashing and no probing on
-/// the two hottest operations (insert on send, take on answer) for
-/// ~1.5 MiB per socket, which the socket cap bounds.
+/// the two hottest operations (insert on send, take on answer). The
+/// timeout wheel rides in the same struct so scheduling an expiry reuses
+/// the lock the sender already holds.
 struct PendingTable {
-    slots: Vec<Option<(usize, Instant)>>,
+    slots: Vec<Option<InFlight>>,
+    /// Outstanding queries; drives the adaptive post-send drain.
+    in_flight: usize,
+    wheel: crate::retry::TimeoutWheel,
 }
 
 impl PendingTable {
-    fn new() -> PendingTable {
+    fn new(start: Instant) -> PendingTable {
         PendingTable {
-            slots: vec![None; 1 << 16],
+            slots: (0..1 << 16).map(|_| None).collect(),
+            in_flight: 0,
+            wheel: crate::retry::TimeoutWheel::new(start),
         }
     }
 
     /// Registers an in-flight id; a still-outstanding id that wrapped
     /// around is overwritten, matching the map behavior it replaced.
-    fn insert(&mut self, id: u16, value: (usize, Instant)) {
+    fn insert(&mut self, id: u16, f: InFlight) {
+        let deadline = f.deadline;
+        let attempt = f.attempt;
         if let Some(slot) = self.slots.get_mut(id as usize) {
-            *slot = Some(value);
+            if slot.replace(f).is_none() {
+                self.in_flight += 1;
+            }
+        }
+        if let Some(d) = deadline {
+            self.wheel.schedule(id, attempt, d);
         }
     }
 
-    fn remove(&mut self, id: u16) -> Option<(usize, Instant)> {
-        self.slots.get_mut(id as usize)?.take()
+    fn remove(&mut self, id: u16) -> Option<InFlight> {
+        let f = self.slots.get_mut(id as usize)?.take();
+        if f.is_some() {
+            self.in_flight -= 1;
+        }
+        f
+    }
+
+    /// Processes every due wheel entry: validates against the live table,
+    /// re-schedules not-yet-due entries, retires exhausted queries
+    /// (`gave_up`), and collects UDP retransmits into `resend` for the
+    /// sweeper to put on the wire after releasing the lock.
+    fn sweep(
+        &mut self,
+        now: Instant,
+        policy: &RetryPolicy,
+        counters: &FaultCounters,
+        due: &mut Vec<(u16, u32)>,
+        resend: &mut Vec<(u32, Box<[u8]>)>,
+    ) {
+        due.clear();
+        self.wheel.due(now, due);
+        for &(id, attempt) in due.iter() {
+            enum Action {
+                Skip,
+                Reschedule(Instant),
+                Expire,
+            }
+            let action = match self.slots.get(id as usize).and_then(Option::as_ref) {
+                // Answered (or the id was re-used): stale entry.
+                Some(f) if f.attempt != attempt => Action::Skip,
+                None => Action::Skip,
+                Some(f) => match f.deadline {
+                    // Bucket came around a rotation early (or jitter):
+                    // keep the entry alive at its true deadline.
+                    Some(d) if d > now => Action::Reschedule(d),
+                    Some(_) => Action::Expire,
+                    None => Action::Skip,
+                },
+            };
+            match action {
+                Action::Skip => {}
+                Action::Reschedule(d) => self.wheel.schedule(id, attempt, d),
+                Action::Expire => {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let retryable = self
+                        .slots
+                        .get(id as usize)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|f| {
+                            matches!(f.sock, SockRef::Udp(_))
+                                && f.attempt < policy.max_udp_retries
+                                && f.wire.is_some()
+                        });
+                    if retryable {
+                        if let Some(f) = self.slots.get_mut(id as usize).and_then(Option::as_mut) {
+                            f.attempt += 1;
+                            f.sent_at = now;
+                            let d = now + policy.backoff.delay(f.attempt, u64::from(id));
+                            f.deadline = Some(d);
+                            if let (SockRef::Udp(s), Some(w)) = (f.sock, f.wire.as_ref()) {
+                                resend.push((s, w.clone()));
+                            }
+                            let a = f.attempt;
+                            self.wheel.schedule(id, a, d);
+                        }
+                    } else {
+                        // Out of attempts (or TCP): the server never
+                        // answered this query.
+                        self.remove(id);
+                        counters.gave_up.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
     }
 }
 
-/// Shared response bookkeeping: outcome slots + per-socket pending tables.
+/// Shared response bookkeeping: outcome slots + the querier's pending
+/// table.
 type Pending = Arc<Mutex<PendingTable>>;
 type Latencies = Arc<Mutex<Vec<Option<u64>>>>;
+/// Sweeper-visible registry of the querier's UDP sockets (indexed by
+/// [`SockRef::Udp`]); grows only when a socket is created.
+type SocketRegistry = Arc<Mutex<Vec<Arc<UdpSocket>>>>;
 
 /// Per-send record: which latency slot the response will land in, plus
 /// the timing fields the final [`ReplayOutcome`] reports.
@@ -418,6 +576,7 @@ struct Meta {
     sent_offset_us: u64,
     src: IpAddr,
     protocol: Protocol,
+    error: Option<ReplayError>,
 }
 
 struct QuerierTask {
@@ -429,6 +588,7 @@ struct QuerierTask {
     epoch: Instant,
     max_sockets: usize,
     drain: Duration,
+    retry: RetryPolicy,
     progress: Option<Arc<AtomicU64>>,
 }
 
@@ -437,58 +597,97 @@ struct QuerierTask {
 struct QuerierState {
     server: SocketAddr,
     max_sockets: usize,
-    udp: Vec<(Arc<UdpSocket>, Pending)>,
+    udp: Vec<Arc<UdpSocket>>,
     udp_by_source: HashMap<IpAddr, usize>,
     tcp: HashMap<IpAddr, TcpConn>,
     recv_tasks: Vec<JoinHandle<()>>,
     latencies: Latencies,
     /// One in-flight table for the whole querier, shared by every socket
     /// and connection: ids come from the querier-wide counter, so they are
-    /// unique across the querier's sockets — and a single 1.5 MiB table
-    /// stays a single table when a high-source trace fans out to hundreds
-    /// of sockets.
+    /// unique across the querier's sockets — and a single table stays a
+    /// single table when a high-source trace fans out to hundreds of
+    /// sockets.
     pending: Pending,
+    registry: SocketRegistry,
+    policy: RetryPolicy,
+    counters: Arc<FaultCounters>,
     next_id: u16,
 }
 
 impl QuerierState {
     /// UDP socket slot for `src`, creating one (with its receive task)
-    /// under the cap, sharing by hash beyond it.
-    async fn udp_slot(&mut self, src: IpAddr) -> std::io::Result<usize> {
+    /// under the cap, sharing by hash beyond it. `None` means the bind
+    /// failed; the caller degrades the record(s) to
+    /// [`ReplayError::Bind`] outcomes — the failure is *not* cached, so
+    /// the next record for this source tries again.
+    async fn udp_slot(&mut self, src: IpAddr) -> Option<usize> {
         if let Some(&s) = self.udp_by_source.get(&src) {
-            return Ok(s);
+            return Some(s);
         }
         let s = if self.udp.len() < self.max_sockets {
-            let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
-            let pending = self.pending.clone();
+            let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await.ok()?);
             self.recv_tasks.push(tokio::spawn(recv_udp(
                 socket.clone(),
-                pending.clone(),
+                self.pending.clone(),
                 self.latencies.clone(),
             )));
-            self.udp.push((socket, pending));
+            self.registry.lock().push(socket.clone());
+            self.udp.push(socket);
             self.udp.len() - 1
         } else {
             // Cap reached: share sockets by source hash.
             hash_ip(src) % self.udp.len()
         };
         self.udp_by_source.insert(src, s);
-        Ok(s)
+        Some(s)
     }
 
-    /// Live TCP connection for `src`, (re)opening when absent or dead.
-    /// `None` means the open failed; the caller skips the send.
+    /// Live TCP connection for `src`, (re)opening — with capped backoff
+    /// up to the policy's attempt budget — when absent or dead. `None`
+    /// means every attempt failed; the caller degrades the record(s) to
+    /// [`ReplayError::Connect`] outcomes.
     async fn tcp_conn(&mut self, src: IpAddr) -> Option<&mut TcpConn> {
-        let needs_open = self.tcp.get(&src).is_none_or(|c| c.dead);
-        if needs_open {
+        let prev_died = self.tcp.get(&src).map(TcpConn::is_dead);
+        if prev_died == Some(false) {
+            return self.tcp.get_mut(&src);
+        }
+        let attempts = self.policy.tcp_reconnect_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = self
+                    .policy
+                    .tcp_reconnect_backoff
+                    .delay(attempt - 1, hash_ip(src) as u64);
+                tokio::time::sleep(pause).await;
+            }
             match TcpConn::open(self.server, self.latencies.clone(), self.pending.clone()).await {
                 Ok(c) => {
+                    if prev_died == Some(true) {
+                        self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.tcp.insert(src, c);
+                    return self.tcp.get_mut(&src);
                 }
-                Err(_) => return None,
+                Err(_) => continue,
             }
         }
-        self.tcp.get_mut(&src)
+        None
+    }
+
+    /// Builds the in-flight entry for a fresh (attempt-0) send.
+    fn in_flight(&self, slot: usize, sent_at: Instant, sock: SockRef, wire: &[u8]) -> InFlight {
+        InFlight {
+            slot,
+            sent_at,
+            deadline: self
+                .policy
+                .is_enabled()
+                .then(|| sent_at + self.policy.timeout),
+            attempt: 0,
+            sock,
+            wire: (self.policy.retains_wire() && matches!(sock, SockRef::Udp(_)))
+                .then(|| wire.to_vec().into_boxed_slice()),
+        }
     }
 
     fn fresh_id(&mut self) -> u16 {
@@ -497,13 +696,54 @@ impl QuerierState {
     }
 }
 
+/// Per-querier timeout sweeper: ticks at the wheel granularity, expires
+/// due attempts, and puts retransmits on the wire. Runs as its own task
+/// (the offline runtime has no timer/IO racing, so expiry needs a
+/// dedicated driver); `stop` makes it exit within one tick once the
+/// querier has drained.
+fn spawn_sweeper(
+    pending: Pending,
+    registry: SocketRegistry,
+    server: SocketAddr,
+    policy: RetryPolicy,
+    counters: Arc<FaultCounters>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    tokio::spawn(async move {
+        let mut due: Vec<(u16, u32)> = Vec::new();
+        let mut resend: Vec<(u32, Box<[u8]>)> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            tokio::time::sleep(crate::retry::TimeoutWheel::TICK).await;
+            resend.clear();
+            {
+                let mut p = pending.lock();
+                p.sweep(Instant::now(), &policy, &counters, &mut due, &mut resend);
+            }
+            if resend.is_empty() {
+                continue;
+            }
+            let sockets: Vec<Arc<UdpSocket>> = registry.lock().clone();
+            for (s, wire) in resend.drain(..) {
+                let Some(socket) = sockets.get(s as usize) else {
+                    continue;
+                };
+                if socket.send_to(&wire, server).await.is_ok() {
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    })
+}
+
 impl QuerierTask {
     async fn run(
         self,
         mut rx: mpsc::Receiver<Vec<TraceRecord>>,
         depth: Arc<AtomicUsize>,
         recycle: mpsc::Sender<Vec<TraceRecord>>,
-    ) -> std::io::Result<(Vec<ReplayOutcome>, ShardStats)> {
+    ) -> (Vec<ReplayOutcome>, ShardStats) {
         let mut stats = ShardStats::new(self.shard);
         let mut state = QuerierState {
             server: self.server,
@@ -513,9 +753,23 @@ impl QuerierTask {
             tcp: HashMap::new(),
             recv_tasks: Vec::new(),
             latencies: Arc::new(Mutex::new(Vec::new())),
-            pending: Arc::new(Mutex::new(PendingTable::new())),
+            pending: Arc::new(Mutex::new(PendingTable::new(Instant::now()))),
+            registry: Arc::new(Mutex::new(Vec::new())),
+            policy: self.retry.clone(),
+            counters: Arc::new(FaultCounters::default()),
             next_id: 0,
         };
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeper = self.retry.is_enabled().then(|| {
+            spawn_sweeper(
+                state.pending.clone(),
+                state.registry.clone(),
+                self.server,
+                self.retry.clone(),
+                state.counters.clone(),
+                stop.clone(),
+            )
+        });
         let mut meta: Vec<Meta> = Vec::new();
         let mut last_deadline_us: u64 = 0;
 
@@ -540,21 +794,39 @@ impl QuerierTask {
                         &mut stats,
                         &mut last_deadline_us,
                     )
-                    .await?;
+                    .await;
                 }
                 ReplayMode::Fast => {
                     self.drain_fast(&mut batch, base, &mut state, &mut meta)
-                        .await?;
+                        .await;
                 }
             }
             if let Some(progress) = &self.progress {
                 progress.fetch_add((meta.len() - drained_from) as u64, Ordering::Relaxed);
             }
             batch.clear();
-            let _ = recycle.try_send(batch);
+            // Recycling is best-effort; a full (or closed) return channel
+            // just means this spine gets reallocated.
+            let _ = recycle.try_send(batch); // ldp-lint: allow(r5) -- spine recycling, not a query send
         }
 
-        tokio::time::sleep(self.drain).await;
+        // Adaptive drain: wait until every in-flight query is answered,
+        // retried out, or expired — `drain` is only the hard cap (and the
+        // whole wait when expiry is disabled and answers were lost).
+        let hard_deadline = Instant::now() + self.drain;
+        loop {
+            if state.pending.lock().in_flight == 0 {
+                break;
+            }
+            if Instant::now() >= hard_deadline {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        stop.store(true, Ordering::Relaxed);
+        if let Some(s) = sweeper {
+            s.abort();
+        }
         for t in &state.recv_tasks {
             t.abort();
         }
@@ -563,8 +835,9 @@ impl QuerierTask {
         }
 
         let latencies = state.latencies.lock();
-        stats.sent = meta.len() as u64;
+        stats.sent = meta.iter().filter(|m| m.error.is_none()).count() as u64;
         stats.answered = latencies.iter().filter(|l| l.is_some()).count() as u64;
+        state.counters.fold_into(&mut stats);
         let outcomes = meta
             .into_iter()
             .map(|m| ReplayOutcome {
@@ -574,14 +847,17 @@ impl QuerierTask {
                 latency_us: latencies.get(m.slot).copied().flatten(),
                 src: m.src,
                 protocol: m.protocol,
+                error: m.error,
             })
             .collect();
-        Ok((outcomes, stats))
+        (outcomes, stats)
     }
 
     /// `Timed` drain: every record is individually paced on the scaled
     /// clock (batching only changed how records *arrive*, not when they
-    /// are sent), then sent exactly as the per-record engine did.
+    /// are sent), then sent exactly as the per-record engine did. Faults
+    /// never abort: a bind/connect/send failure degrades that record to a
+    /// [`ReplayError`] outcome and the loop moves on.
     async fn drain_timed(
         &self,
         batch: &mut [TraceRecord],
@@ -590,7 +866,7 @@ impl QuerierTask {
         meta: &mut Vec<Meta>,
         stats: &mut ShardStats,
         last_deadline_us: &mut u64,
-    ) -> std::io::Result<()> {
+    ) {
         for (k, rec) in batch.iter_mut().enumerate() {
             let now_us = self.epoch.elapsed().as_micros() as u64;
             // Invariant: the plan feeds each querier records in trace
@@ -612,29 +888,75 @@ impl QuerierTask {
                 continue;
             };
             let sent_at = Instant::now();
+            let mut error = None;
             match rec.protocol {
-                Protocol::Udp => {
-                    let slot = state.udp_slot(rec.src).await?;
-                    let (socket, pending) = &state.udp[slot];
-                    pending.lock().insert(id, (base + k, sent_at));
-                    let _ = socket.send_to(&wire, self.server).await;
-                }
+                Protocol::Udp => match state.udp_slot(rec.src).await {
+                    None => {
+                        error = Some(ReplayError::Bind);
+                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(slot) => {
+                        let entry =
+                            state.in_flight(base + k, sent_at, SockRef::Udp(slot as u32), &wire);
+                        state.pending.lock().insert(id, entry);
+                        let socket = &state.udp[slot];
+                        if socket.send_to(&wire, self.server).await.is_err() {
+                            state.pending.lock().remove(id);
+                            error = Some(ReplayError::Send);
+                            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                },
                 Protocol::Tcp | Protocol::Tls | Protocol::Quic => {
                     // Live mode carries TLS/QUIC as TCP: handshake
                     // emulation is a simulator concern; live TCP still
-                    // exercises framing and connection reuse.
-                    let Some(conn) = state.tcp_conn(rec.src).await else {
-                        continue;
-                    };
-                    conn.pending.lock().insert(id, (base + k, sent_at));
-                    if conn.send(&wire).await.is_err() {
-                        conn.dead = true;
+                    // exercises framing and connection reuse. The entry
+                    // still gets an expiry deadline even though the send
+                    // path (not the sweeper) owns reconnection: without
+                    // one, a query lost to a reset connection would pin
+                    // the adaptive drain to its cap.
+                    let deadline = state
+                        .policy
+                        .is_enabled()
+                        .then(|| sent_at + state.policy.timeout);
+                    let mut resend = false;
+                    match state.tcp_conn(rec.src).await {
+                        None => {
+                            error = Some(ReplayError::Connect);
+                            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(conn) => {
+                            conn.pending.lock().insert(
+                                id,
+                                InFlight {
+                                    slot: base + k,
+                                    sent_at,
+                                    deadline,
+                                    attempt: 0,
+                                    sock: SockRef::Tcp,
+                                    wire: None,
+                                },
+                            );
+                            if conn.send(&wire).await.is_err() {
+                                conn.mark_dead();
+                                resend = true;
+                            }
+                        }
+                    }
+                    if resend {
+                        // One reconnect-and-resend; a second failure
+                        // leaves the query to expire (`gave_up`).
+                        if let Some(conn) = state.tcp_conn(rec.src).await {
+                            if conn.send(&wire).await.is_err() {
+                                conn.mark_dead();
+                            }
+                        }
                     }
                 }
             }
             let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
             let target_offset_us = deadline;
-            if sent_offset_us > target_offset_us + LATE_BUDGET_US {
+            if error.is_none() && sent_offset_us > target_offset_us + LATE_BUDGET_US {
                 stats.late += 1;
             }
             meta.push(Meta {
@@ -644,22 +966,50 @@ impl QuerierTask {
                 sent_offset_us,
                 src: rec.src,
                 protocol: rec.protocol,
+                error,
             });
         }
-        Ok(())
+    }
+
+    /// Degrades a whole run (fast-mode bind/connect failure) to errored
+    /// outcomes so every record is accounted for.
+    fn degrade_run(
+        &self,
+        batch: &[TraceRecord],
+        base: usize,
+        range: (usize, usize),
+        state: &QuerierState,
+        meta: &mut Vec<Meta>,
+        error: ReplayError,
+    ) {
+        let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
+        for (k, rec) in batch.iter().enumerate().take(range.1).skip(range.0) {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            meta.push(Meta {
+                slot: base + k,
+                trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
+                target_offset_us: self.clock.target_real_us(rec.time_us),
+                sent_offset_us,
+                src: rec.src,
+                protocol: rec.protocol,
+                error: Some(error),
+            });
+        }
     }
 
     /// `Fast` drain: syscall-dense. Consecutive same-source same-protocol
     /// records form a *run* (sticky routing makes runs long); each run
     /// costs one socket lookup and one pending-map lock, and TCP runs
-    /// collapse all frames into a single write.
+    /// collapse all frames into a single write. Faults degrade (run- or
+    /// record-level) instead of aborting, and dead TCP connections are
+    /// reopened with the interrupted run's buffer re-sent.
     async fn drain_fast(
         &self,
         batch: &mut [TraceRecord],
         base: usize,
         state: &mut QuerierState,
         meta: &mut Vec<Meta>,
-    ) -> std::io::Result<()> {
+    ) {
         let mut i = 0;
         while i < batch.len() {
             let src = batch[i].src;
@@ -670,16 +1020,28 @@ impl QuerierTask {
             }
             match protocol {
                 Protocol::Udp => {
-                    let slot = state.udp_slot(src).await?;
+                    let Some(slot) = state.udp_slot(src).await else {
+                        // Bind failed: the whole run degrades (the next
+                        // run for this source will try binding again).
+                        self.degrade_run(batch, base, (i, j), state, meta, ReplayError::Bind);
+                        i = j;
+                        continue;
+                    };
                     // Encode the run and register every pending entry
                     // under one lock; a record that fails to encode is
                     // never registered, so the pending map only ever
                     // holds ids that actually went on the wire.
                     let mut wires: Vec<Vec<u8>> = Vec::with_capacity(j - i);
                     let mut queued: Vec<usize> = Vec::with_capacity(j - i);
+                    let mut ids: Vec<u16> = Vec::with_capacity(j - i);
                     {
                         let sent_at = Instant::now();
-                        let mut p = state.udp[slot].1.lock();
+                        let deadline = state
+                            .policy
+                            .is_enabled()
+                            .then(|| sent_at + state.policy.timeout);
+                        let retain = state.policy.retains_wire();
+                        let mut p = state.pending.lock();
                         for (k, rec) in batch.iter_mut().enumerate().take(j).skip(i) {
                             state.next_id = state.next_id.wrapping_add(1);
                             let id = state.next_id;
@@ -687,21 +1049,45 @@ impl QuerierTask {
                             let Ok(wire) = rec.message.to_bytes() else {
                                 continue;
                             };
-                            p.insert(id, (base + k, sent_at));
+                            p.insert(
+                                id,
+                                InFlight {
+                                    slot: base + k,
+                                    sent_at,
+                                    deadline,
+                                    attempt: 0,
+                                    sock: SockRef::Udp(slot as u32),
+                                    wire: retain.then(|| wire.clone().into_boxed_slice()),
+                                },
+                            );
                             wires.push(wire);
                             queued.push(k);
+                            ids.push(id);
                         }
                     }
                     // One sendmmsg carries the whole run; any tail the
-                    // kernel refuses goes out individually.
-                    let socket = state.udp[slot].0.clone();
+                    // kernel refuses goes out individually, and a send
+                    // that still fails degrades that record.
+                    let socket = state.udp[slot].clone();
                     let refs: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
                     let sent_n = socket.send_many_to(&refs, self.server).await.unwrap_or(0);
-                    for wire in &refs[sent_n..] {
-                        let _ = socket.send_to(wire, self.server).await;
+                    let mut errs: Vec<Option<ReplayError>> = vec![None; queued.len()];
+                    for (x, wire) in refs.iter().enumerate().skip(sent_n) {
+                        if socket.send_to(wire, self.server).await.is_err() {
+                            errs[x] = Some(ReplayError::Send);
+                            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if errs.iter().any(Option::is_some) {
+                        let mut p = state.pending.lock();
+                        for (x, e) in errs.iter().enumerate() {
+                            if e.is_some() {
+                                p.remove(ids[x]);
+                            }
+                        }
                     }
                     let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
-                    for k in queued {
+                    for (x, &k) in queued.iter().enumerate() {
                         let rec = &batch[k];
                         meta.push(Meta {
                             slot: base + k,
@@ -710,14 +1096,16 @@ impl QuerierTask {
                             sent_offset_us,
                             src,
                             protocol,
+                            error: errs[x],
                         });
                     }
                 }
                 Protocol::Tcp | Protocol::Tls | Protocol::Quic => {
                     // Open (or reuse) the run's connection up front; an
-                    // open failure skips the whole run, matching the old
-                    // per-record behavior.
+                    // open that fails every reconnect attempt degrades
+                    // the whole run to `Connect` outcomes.
                     if state.tcp_conn(src).await.is_none() {
+                        self.degrade_run(batch, base, (i, j), state, meta, ReplayError::Connect);
                         i = j;
                         continue;
                     }
@@ -726,6 +1114,11 @@ impl QuerierTask {
                     let mut buf = Vec::new();
                     let mut queued: Vec<usize> = Vec::with_capacity(j - i);
                     {
+                        let sent_at = Instant::now();
+                        let deadline = state
+                            .policy
+                            .is_enabled()
+                            .then(|| sent_at + state.policy.timeout);
                         let Some(conn) = state.tcp.get_mut(&src) else {
                             i = j;
                             continue;
@@ -743,18 +1136,43 @@ impl QuerierTask {
                             let Ok(framed) = ldp_wire::framing::frame_message(&wire) else {
                                 continue;
                             };
-                            p.insert(id, (base + k, Instant::now()));
+                            p.insert(
+                                id,
+                                InFlight {
+                                    slot: base + k,
+                                    sent_at,
+                                    deadline,
+                                    attempt: 0,
+                                    sock: SockRef::Tcp,
+                                    wire: None,
+                                },
+                            );
                             buf.extend_from_slice(&framed);
                             queued.push(k);
                         }
                     }
                     if !buf.is_empty() {
-                        let Some(conn) = state.tcp.get_mut(&src) else {
-                            i = j;
-                            continue;
-                        };
-                        if conn.send_raw(&buf).await.is_err() {
-                            conn.dead = true;
+                        // On a write failure, reconnect (counted) and
+                        // re-send the interrupted run's buffer once;
+                        // responses come back through the new reader into
+                        // the same querier-wide pending table. Duplicate
+                        // answers are harmless — the first wins, the rest
+                        // find no pending entry.
+                        let mut attempts = 0;
+                        loop {
+                            let Some(conn) = state.tcp_conn(src).await else {
+                                break;
+                            };
+                            if conn.send_raw(&buf).await.is_ok() {
+                                break;
+                            }
+                            conn.mark_dead();
+                            attempts += 1;
+                            if attempts > 1 {
+                                // The re-sent run failed too: the queued
+                                // queries expire into `gave_up`.
+                                break;
+                            }
                         }
                     }
                     let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
@@ -767,13 +1185,13 @@ impl QuerierTask {
                             sent_offset_us,
                             src,
                             protocol,
+                            error: None,
                         });
                     }
                 }
             }
             i = j;
         }
-        Ok(())
     }
 }
 
@@ -810,9 +1228,9 @@ async fn recv_udp(socket: Arc<UdpSocket>, pending: Pending, latencies: Latencies
                 continue;
             }
             let id = u16::from_be_bytes([bufs[i][0], bufs[i][1]]);
-            if let Some((idx, sent_at)) = p.remove(id) {
-                let latency = now.saturating_duration_since(sent_at).as_micros() as u64;
-                if let Some(slot) = l.get_mut(idx) {
+            if let Some(f) = p.remove(id) {
+                let latency = now.saturating_duration_since(f.sent_at).as_micros() as u64;
+                if let Some(slot) = l.get_mut(f.slot) {
                     *slot = Some(latency);
                 }
             }
@@ -824,7 +1242,11 @@ struct TcpConn {
     writer: tokio::net::tcp::OwnedWriteHalf,
     reader: JoinHandle<()>,
     pending: Pending,
-    dead: bool,
+    /// Set by the send path on a write failure *or* by the reader task on
+    /// EOF/read error — a server that resets mid-conversation is usually
+    /// noticed by the reader first, and the flag is what triggers a
+    /// reconnect on the next use of this source's connection.
+    dead: Arc<AtomicBool>,
 }
 
 impl TcpConn {
@@ -837,25 +1259,29 @@ impl TcpConn {
         stream.set_nodelay(true)?;
         let (mut read_half, writer) = stream.into_split();
         let pending_r = pending.clone();
+        let dead = Arc::new(AtomicBool::new(false));
+        let dead_r = dead.clone();
         let reader = tokio::spawn(async move {
             loop {
                 let mut lenbuf = [0u8; 2];
                 if read_half.read_exact(&mut lenbuf).await.is_err() {
+                    dead_r.store(true, Ordering::Relaxed);
                     return;
                 }
                 let len = u16::from_be_bytes(lenbuf) as usize;
                 let mut msg = vec![0u8; len];
                 if read_half.read_exact(&mut msg).await.is_err() {
+                    dead_r.store(true, Ordering::Relaxed);
                     return;
                 }
                 if msg.len() < 2 {
                     continue;
                 }
                 let id = u16::from_be_bytes([msg[0], msg[1]]);
-                if let Some((idx, sent_at)) = pending_r.lock().remove(id) {
-                    let latency = sent_at.elapsed().as_micros() as u64;
+                if let Some(f) = pending_r.lock().remove(id) {
+                    let latency = f.sent_at.elapsed().as_micros() as u64;
                     let mut l = latencies.lock();
-                    if let Some(slot) = l.get_mut(idx) {
+                    if let Some(slot) = l.get_mut(f.slot) {
                         *slot = Some(latency);
                     }
                 }
@@ -865,8 +1291,16 @@ impl TcpConn {
             writer,
             reader,
             pending,
-            dead: false,
+            dead,
         })
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Relaxed);
     }
 
     async fn send(&mut self, wire: &[u8]) -> std::io::Result<()> {

@@ -15,6 +15,9 @@
 //!   the paper's processes-on-many-hosts become tasks-in-one-process with
 //!   channels standing in for the TCP control connections — the dataflow,
 //!   affinity, and timing logic are identical,
+//! * [`retry`] — the engine's fault-tolerance layer: answer timeouts over
+//!   a timer wheel, UDP retransmits with exponential backoff + jitter,
+//!   TCP reconnects, and the fault counters that account for all of it,
 //! * [`simclient`] — querier nodes for [`ldp_netsim`], used by the §5
 //!   protocol experiments (controlled RTT, TCP/TLS connection reuse,
 //!   latency distributions).
@@ -23,9 +26,11 @@
 
 pub mod engine;
 pub mod plan;
+pub mod retry;
 pub mod simclient;
 pub mod timing;
 
-pub use engine::{LiveReplay, ReplayMode, ReplayOutcome, ReplayReport};
+pub use engine::{LiveReplay, ReplayError, ReplayMode, ReplayOutcome, ReplayReport};
 pub use plan::{Batcher, ReplayPlan};
+pub use retry::RetryPolicy;
 pub use timing::ReplayClock;

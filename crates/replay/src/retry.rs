@@ -1,0 +1,253 @@
+//! Query timeout, retransmit, and reconnect policy for the live engine.
+//!
+//! The paper's replay runs against real servers that drop packets and
+//! reset connections; a replay that aborts (or silently loses records) on
+//! the first fault cannot finish a multi-hour trace. This module holds the
+//! pieces the engine uses to degrade gracefully instead:
+//!
+//! * [`RetryPolicy`] — per-querier knobs: answer timeout, UDP retransmit
+//!   budget with exponential backoff + jitter (via [`ldp_netsim::Backoff`],
+//!   the same model the simulator uses), and TCP reconnect attempts.
+//! * [`TimeoutWheel`] — a coarse hashed timer wheel over in-flight query
+//!   ids. Scheduling is one `Vec` push under the pending-table lock the
+//!   sender already holds, so the no-fault hot path pays near zero; a
+//!   per-querier sweeper task drains due buckets every tick.
+//! * [`FaultCounters`] — shared atomics the sender, receiver, and sweeper
+//!   all bump, folded into [`ldp_metrics::ShardStats`] at the end.
+//!
+//! Fidelity note: a retransmit keeps its original query's message id and
+//! outcome slot. It is never counted as a new trace query — `sent` counts
+//! trace records put on the wire once; `retries` counts the extra
+//! datagrams separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ldp_netsim::Backoff;
+
+use ldp_metrics::ShardStats;
+
+/// Timeout/retry/reconnect configuration for one replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// How long to wait for an answer before an attempt expires. A zero
+    /// timeout disables expiry tracking entirely (see
+    /// [`RetryPolicy::disabled`]).
+    pub timeout: Duration,
+    /// UDP retransmits per query after the first send (0 = never
+    /// retransmit; expiries go straight to `gave_up`).
+    pub max_udp_retries: u32,
+    /// Spacing of successive attempts: attempt *n*'s expiry deadline is
+    /// its send time plus `backoff.delay(n, id)`.
+    pub backoff: Backoff,
+    /// TCP connection-open attempts per (re)connect before the records
+    /// riding on it degrade to [`crate::engine::ReplayError::Connect`].
+    pub tcp_reconnect_attempts: u32,
+    /// Pause between TCP open attempts (capped exponential + jitter).
+    pub tcp_reconnect_backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    /// Loopback-tuned defaults: 250 ms answer timeout, two retransmits
+    /// (99.9%+ delivery at 20% loss), three connect attempts.
+    fn default() -> RetryPolicy {
+        let timeout = Duration::from_millis(250);
+        RetryPolicy {
+            timeout,
+            max_udp_retries: 2,
+            backoff: Backoff::new(timeout, Duration::from_secs(2)),
+            tcp_reconnect_attempts: 3,
+            tcp_reconnect_backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(1)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No expiry, no retransmits, single connect attempts — the engine's
+    /// pre-fault-tolerance behavior, for measuring raw send throughput.
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            timeout: Duration::ZERO,
+            max_udp_retries: 0,
+            tcp_reconnect_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether in-flight queries expire at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.timeout.is_zero()
+    }
+
+    /// Whether the sender must retain query wires for retransmission.
+    pub fn retains_wire(&self) -> bool {
+        self.is_enabled() && self.max_udp_retries > 0
+    }
+}
+
+/// Fault counters shared between a querier's send path, receive tasks,
+/// and timeout sweeper; folded into [`ShardStats`] when the querier ends.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    pub timeouts: AtomicU64,
+    pub retries: AtomicU64,
+    pub reconnects: AtomicU64,
+    pub gave_up: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl FaultCounters {
+    pub fn fold_into(&self, stats: &mut ShardStats) {
+        stats.timeouts = self.timeouts.load(Ordering::Relaxed);
+        stats.retries = self.retries.load(Ordering::Relaxed);
+        stats.reconnects = self.reconnects.load(Ordering::Relaxed);
+        stats.gave_up = self.gave_up.load(Ordering::Relaxed);
+        stats.errors = self.errors.load(Ordering::Relaxed);
+    }
+}
+
+/// Coarse hashed timer wheel over in-flight message ids.
+///
+/// Entries are `(id, attempt)` pairs hashed into [`TimeoutWheel::BUCKETS`]
+/// buckets by deadline tick. The wheel itself never decides expiry — the
+/// sweeper re-checks the authoritative deadline stored in the pending
+/// table, so stale entries (the id was answered, or re-used by a later
+/// attempt) cost one skipped lookup, and an entry more than one rotation
+/// out is simply re-scheduled when its bucket comes around early.
+#[derive(Debug)]
+pub(crate) struct TimeoutWheel {
+    start: Instant,
+    /// Last tick whose bucket has been drained.
+    swept: u64,
+    buckets: Vec<Vec<(u16, u32)>>,
+}
+
+impl TimeoutWheel {
+    pub(crate) const BUCKETS: usize = 64;
+    /// Bucket granularity; also the sweeper's poll interval. Coarse on
+    /// purpose: expiry a few ms late is invisible next to a 250 ms
+    /// timeout, and coarse ticks keep the sweeper nearly idle.
+    pub(crate) const TICK: Duration = Duration::from_millis(16);
+
+    pub(crate) fn new(start: Instant) -> TimeoutWheel {
+        TimeoutWheel {
+            start,
+            swept: 0,
+            buckets: (0..Self::BUCKETS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.start).as_millis() as u64 / Self::TICK.as_millis() as u64
+    }
+
+    /// Schedules `(id, attempt)` to surface no earlier than `deadline`
+    /// (never in an already-swept tick).
+    pub(crate) fn schedule(&mut self, id: u16, attempt: u32, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.swept + 1);
+        let bucket = (tick % Self::BUCKETS as u64) as usize;
+        self.buckets[bucket].push((id, attempt));
+    }
+
+    /// Drains every bucket whose tick has passed into `out`. Callers must
+    /// validate each candidate against the pending table (and re-schedule
+    /// entries whose true deadline is still in the future).
+    pub(crate) fn due(&mut self, now: Instant, out: &mut Vec<(u16, u32)>) {
+        let current = self.tick_of(now);
+        while self.swept < current {
+            self.swept += 1;
+            let bucket = (self.swept % Self::BUCKETS as u64) as usize;
+            out.append(&mut self.buckets[bucket]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_enabled_and_retains_wires() {
+        let p = RetryPolicy::default();
+        assert!(p.is_enabled());
+        assert!(p.retains_wire());
+        assert!(p.max_udp_retries > 0);
+    }
+
+    #[test]
+    fn disabled_policy_tracks_nothing() {
+        let p = RetryPolicy::disabled();
+        assert!(!p.is_enabled());
+        assert!(!p.retains_wire());
+        assert_eq!(p.max_udp_retries, 0);
+        assert_eq!(p.tcp_reconnect_attempts, 1);
+    }
+
+    #[test]
+    fn wheel_surfaces_entries_only_after_their_tick() {
+        let start = Instant::now();
+        let mut w = TimeoutWheel::new(start);
+        w.schedule(7, 0, start + Duration::from_millis(100));
+        let mut out = Vec::new();
+        w.due(start + Duration::from_millis(50), &mut out);
+        assert!(out.is_empty(), "surfaced {out:?} before deadline tick");
+        w.due(start + Duration::from_millis(200), &mut out);
+        assert_eq!(out, vec![(7, 0)]);
+        // Drained: not surfaced twice.
+        out.clear();
+        w.due(start + Duration::from_millis(400), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wheel_never_schedules_into_swept_ticks() {
+        let start = Instant::now();
+        let mut w = TimeoutWheel::new(start);
+        let mut out = Vec::new();
+        w.due(start + Duration::from_millis(500), &mut out);
+        // A deadline in the already-swept past still surfaces on the next
+        // tick rather than being lost in a drained bucket.
+        w.schedule(3, 1, start + Duration::from_millis(100));
+        w.due(start + Duration::from_millis(600), &mut out);
+        assert_eq!(out, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn wheel_far_future_entries_survive_rotations() {
+        let start = Instant::now();
+        let mut w = TimeoutWheel::new(start);
+        // Two full rotations out: the entry's bucket is visited early
+        // (one rotation in); the caller re-schedules it then, so `due`
+        // must surface it at least once before the true deadline — and
+        // the re-schedule keeps it alive.
+        let deadline = start + TimeoutWheel::TICK * (TimeoutWheel::BUCKETS as u32 * 2 + 3);
+        w.schedule(9, 0, deadline);
+        let mut out = Vec::new();
+        w.due(
+            start + TimeoutWheel::TICK * (TimeoutWheel::BUCKETS as u32 + 5),
+            &mut out,
+        );
+        assert_eq!(out, vec![(9, 0)], "bucket visited one rotation early");
+        // Caller sees the true deadline is future and re-schedules.
+        out.clear();
+        w.schedule(9, 0, deadline);
+        w.due(deadline + TimeoutWheel::TICK, &mut out);
+        assert_eq!(out, vec![(9, 0)]);
+    }
+
+    #[test]
+    fn counters_fold_into_shard_stats() {
+        let c = FaultCounters::default();
+        c.timeouts.store(4, Ordering::Relaxed);
+        c.retries.store(3, Ordering::Relaxed);
+        c.reconnects.store(2, Ordering::Relaxed);
+        c.gave_up.store(1, Ordering::Relaxed);
+        c.errors.store(5, Ordering::Relaxed);
+        let mut s = ShardStats::new(0);
+        c.fold_into(&mut s);
+        assert_eq!(
+            (s.timeouts, s.retries, s.reconnects, s.gave_up, s.errors),
+            (4, 3, 2, 1, 5)
+        );
+    }
+}

@@ -14,12 +14,16 @@
 //!   node (UDP/TCP/TLS) with resource sampling, and a recursive resolver
 //!   node,
 //! * [`live`] — a tokio-based authoritative server on real sockets for the
-//!   loopback replay-fidelity experiments (§4).
+//!   loopback replay-fidelity experiments (§4),
+//! * [`chaos`] — seeded, deterministic fault injection (drop/duplicate/
+//!   delay responses, refuse/reset TCP, dark windows) for chaos-testing
+//!   the live replay path against this server.
 
 #![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
 
 pub mod auth;
 pub mod cache;
+pub mod chaos;
 pub mod live;
 pub mod pktcache;
 pub mod recursive;
@@ -27,4 +31,5 @@ pub mod resource;
 pub mod sim;
 
 pub use auth::AuthEngine;
+pub use chaos::{ChaosPolicy, ChaosStats, ResponseFate};
 pub use resource::{ResourceModel, ResourceUsage};

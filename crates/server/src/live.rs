@@ -10,6 +10,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, UdpSocket};
@@ -18,6 +19,7 @@ use tokio::task::JoinHandle;
 use ldp_wire::Message;
 
 use crate::auth::AuthEngine;
+use crate::chaos::{ChaosPolicy, ResponseFate};
 use crate::pktcache::PacketCache;
 
 /// Counters shared with the experiment harness.
@@ -28,6 +30,9 @@ pub struct LiveStats {
     pub tcp_connections: AtomicU64,
     pub malformed: AtomicU64,
     pub response_bytes: AtomicU64,
+    /// Response sends the kernel refused (buffer pressure or a vanished
+    /// peer); counted, never silently swallowed.
+    pub send_failures: AtomicU64,
 }
 
 /// A running live server; aborts its tasks on drop.
@@ -49,13 +54,31 @@ impl LiveServer {
     /// Binds UDP and TCP on `bind` (use port 0 for an ephemeral port) and
     /// starts serving `engine`.
     pub async fn spawn(engine: Arc<AuthEngine>, bind: SocketAddr) -> io::Result<LiveServer> {
+        LiveServer::spawn_inner(engine, bind, None).await
+    }
+
+    /// Like [`LiveServer::spawn`], but with a [`ChaosPolicy`] injecting
+    /// faults into the serving path (chaos testing the replay engine).
+    pub async fn spawn_with_chaos(
+        engine: Arc<AuthEngine>,
+        bind: SocketAddr,
+        chaos: Arc<ChaosPolicy>,
+    ) -> io::Result<LiveServer> {
+        LiveServer::spawn_inner(engine, bind, Some(chaos)).await
+    }
+
+    async fn spawn_inner(
+        engine: Arc<AuthEngine>,
+        bind: SocketAddr,
+        chaos: Option<Arc<ChaosPolicy>>,
+    ) -> io::Result<LiveServer> {
         let udp = UdpSocket::bind(bind).await?;
         let addr = udp.local_addr()?;
         let tcp = TcpListener::bind(addr).await?;
         let stats = Arc::new(LiveStats::default());
 
-        let udp_task = tokio::spawn(serve_udp(udp, engine.clone(), stats.clone()));
-        let tcp_task = tokio::spawn(serve_tcp(tcp, engine, stats.clone()));
+        let udp_task = tokio::spawn(serve_udp(udp, engine.clone(), stats.clone(), chaos.clone()));
+        let tcp_task = tokio::spawn(serve_tcp(tcp, engine, stats.clone(), chaos));
         Ok(LiveServer {
             addr,
             stats,
@@ -70,8 +93,64 @@ impl LiveServer {
 /// syscall cost from two per query to two per batch.
 const UDP_BATCH: usize = 64;
 
-async fn serve_udp(socket: UdpSocket, engine: Arc<AuthEngine>, stats: Arc<LiveStats>) {
+/// Routes each UDP response through the chaos policy's fate for it (or
+/// delivers unconditionally when no policy is installed).
+struct ReplyRouter {
+    socket: Arc<UdpSocket>,
+    stats: Arc<LiveStats>,
+    chaos: Option<Arc<ChaosPolicy>>,
+    started: Instant,
+}
+
+impl ReplyRouter {
+    /// Queues one response onto `replies` (delayed fates are sent out of
+    /// band). `query_wire` must be the id-zeroed query so retransmits of
+    /// the same query share a sighting sequence.
+    fn queue(
+        &self,
+        replies: &mut Vec<(Vec<u8>, SocketAddr)>,
+        query_wire: &[u8],
+        bytes: Vec<u8>,
+        peer: SocketAddr,
+    ) {
+        let fate = match &self.chaos {
+            Some(c) => c.response_fate(query_wire, self.started.elapsed()),
+            None => ResponseFate::Deliver,
+        };
+        match fate {
+            ResponseFate::Deliver => replies.push((bytes, peer)),
+            ResponseFate::Drop => {}
+            ResponseFate::Duplicate => {
+                replies.push((bytes.clone(), peer));
+                replies.push((bytes, peer));
+            }
+            ResponseFate::Delay(by) => {
+                let socket = self.socket.clone();
+                let stats = self.stats.clone();
+                tokio::spawn(async move {
+                    tokio::time::sleep(by).await;
+                    if socket.send_to(&bytes, peer).await.is_err() {
+                        stats.send_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+    }
+}
+
+async fn serve_udp(
+    socket: UdpSocket,
+    engine: Arc<AuthEngine>,
+    stats: Arc<LiveStats>,
+    chaos: Option<Arc<ChaosPolicy>>,
+) {
     let socket = Arc::new(socket);
+    let router = ReplyRouter {
+        socket: socket.clone(),
+        stats: stats.clone(),
+        chaos,
+        started: Instant::now(),
+    };
     let mut bufs: Vec<Vec<u8>> = (0..UDP_BATCH).map(|_| vec![0u8; 65_535]).collect();
     let mut replies: Vec<(Vec<u8>, SocketAddr)> = Vec::with_capacity(UDP_BATCH);
     // Answers are deterministic over static zones, so identical query
@@ -97,7 +176,7 @@ async fn serve_udp(socket: UdpSocket, engine: Arc<AuthEngine>, stats: Arc<LiveSt
                     stats
                         .response_bytes
                         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                    replies.push((bytes, peer));
+                    router.queue(&mut replies, &buf[..len], bytes, peer);
                     continue;
                 }
                 let Ok(query) = Message::from_bytes(&buf[..len]) else {
@@ -112,7 +191,7 @@ async fn serve_udp(socket: UdpSocket, engine: Arc<AuthEngine>, stats: Arc<LiveSt
                     stats
                         .response_bytes
                         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                    replies.push((bytes, peer));
+                    router.queue(&mut replies, &buf[..len], bytes, peer);
                 }
             } else {
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
@@ -122,21 +201,35 @@ async fn serve_udp(socket: UdpSocket, engine: Arc<AuthEngine>, stats: Arc<LiveSt
             replies.iter().map(|(b, p)| (b.as_slice(), *p)).collect();
         let sent = socket.send_many_to_each(&msgs).await.unwrap_or(0);
         for (bytes, peer) in &msgs[sent..] {
-            let _ = socket.send_to(bytes, *peer).await;
+            if socket.send_to(bytes, *peer).await.is_err() {
+                stats.send_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
 
-async fn serve_tcp(listener: TcpListener, engine: Arc<AuthEngine>, stats: Arc<LiveStats>) {
+async fn serve_tcp(
+    listener: TcpListener,
+    engine: Arc<AuthEngine>,
+    stats: Arc<LiveStats>,
+    chaos: Option<Arc<ChaosPolicy>>,
+) {
     loop {
         let Ok((stream, peer)) = listener.accept().await else {
             continue;
         };
+        // Injected accept refusal: close the connection before it counts
+        // as served; the client sees an immediate EOF/reset.
+        if chaos.as_ref().is_some_and(|c| c.refuse_accept()) {
+            drop(stream);
+            continue;
+        }
         stats.tcp_connections.fetch_add(1, Ordering::Relaxed);
         let engine = engine.clone();
         let stats = stats.clone();
+        let chaos = chaos.clone();
         tokio::spawn(async move {
-            let _ = serve_tcp_conn(stream, peer, engine, stats).await;
+            let _ = serve_tcp_conn(stream, peer, engine, stats, chaos).await;
         });
     }
 }
@@ -146,8 +239,10 @@ async fn serve_tcp_conn(
     peer: SocketAddr,
     engine: Arc<AuthEngine>,
     stats: Arc<LiveStats>,
+    chaos: Option<Arc<ChaosPolicy>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    let mut served = 0u64;
     loop {
         // RFC 1035 §4.2.2 framing: 2-byte length, then the message.
         let mut lenbuf = [0u8; 2];
@@ -171,6 +266,12 @@ async fn serve_tcp_conn(
         let framed = ldp_wire::framing::frame_message(&bytes)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "oversized response"))?;
         stream.write_all(&framed).await?;
+        served += 1;
+        // Injected mid-conversation reset: close after serving the
+        // configured number of queries on this connection.
+        if chaos.as_ref().is_some_and(|c| c.should_reset(served)) {
+            return Ok(());
+        }
     }
 }
 

@@ -15,6 +15,9 @@ cargo ldp-lint
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chaos smoke (lossy replay must recover via retries)"
+cargo run -q --release -p ldp-bench --bin chaos_smoke
+
 echo "==> bench smoke (fig09 on a tiny trace)"
 LDP_SCALE=0.05 LDP_RESULTS=results cargo run -q --release -p ldp-bench --bin fig09_throughput
 test -s results/BENCH_fig09.json || {

@@ -6,6 +6,56 @@ use std::net::SocketAddr;
 use std::net::ToSocketAddrs;
 use std::sync::Arc;
 
+/// Test-only fault injection for the socket stubs: arm N transient
+/// failures and the next N matching operations fail with a synthetic
+/// error, then everything recovers. Process-global (the stubs have no
+/// per-runtime state), so tests that arm faults must serialize against
+/// other socket-creating tests. Disarmed (the default) costs one relaxed
+/// atomic load per operation.
+pub mod fault {
+    use std::io;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static UDP_BIND_FAULTS: AtomicUsize = AtomicUsize::new(0);
+    static TCP_CONNECT_FAULTS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arms `n` transient failures for upcoming `UdpSocket::bind` calls.
+    pub fn inject_udp_bind_failures(n: usize) {
+        UDP_BIND_FAULTS.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms `n` transient failures for upcoming `TcpStream::connect` calls.
+    pub fn inject_tcp_connect_failures(n: usize) {
+        TCP_CONNECT_FAULTS.store(n, Ordering::SeqCst);
+    }
+
+    /// Disarms all pending socket faults.
+    pub fn clear() {
+        UDP_BIND_FAULTS.store(0, Ordering::SeqCst);
+        TCP_CONNECT_FAULTS.store(0, Ordering::SeqCst);
+    }
+
+    fn take(counter: &AtomicUsize) -> bool {
+        if counter.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    pub(crate) fn udp_bind_fault() -> Option<io::Error> {
+        take(&UDP_BIND_FAULTS)
+            .then(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "injected udp bind fault"))
+    }
+
+    pub(crate) fn tcp_connect_fault() -> Option<io::Error> {
+        take(&TCP_CONNECT_FAULTS).then(|| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "injected tcp connect fault")
+        })
+    }
+}
+
 /// UDP socket; `&self` methods are safe to share across tasks via `Arc`
 /// exactly like real tokio (std sockets allow concurrent send/recv).
 #[derive(Debug)]
@@ -15,6 +65,9 @@ pub struct UdpSocket {
 
 impl UdpSocket {
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        if let Some(e) = fault::udp_bind_fault() {
+            return Err(e);
+        }
         let inner = std::net::UdpSocket::bind(addr)?;
         grow_udp_buffers(&inner);
         Ok(UdpSocket { inner })
@@ -408,6 +461,9 @@ pub struct TcpStream {
 
 impl TcpStream {
     pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        if let Some(e) = fault::tcp_connect_fault() {
+            return Err(e);
+        }
         Ok(TcpStream {
             inner: std::net::TcpStream::connect(addr)?,
         })
