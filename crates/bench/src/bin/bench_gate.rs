@@ -1,0 +1,110 @@
+//! Throughput regression gate for CI: compares two `BENCH_fig09.json`
+//! records and fails (exit 1) when the new mean rate regresses below
+//! `LDP_GATE_TOLERANCE` (default 0.98, i.e. a 2% allowance) of the
+//! baseline. Records taken at different `LDP_SCALE` are incomparable, so
+//! a scale mismatch skips the gate (exit 0 with a notice) instead of
+//! producing a false verdict.
+//!
+//! Usage: `bench_gate <baseline.json> <new.json>`
+
+use serde_json::Value;
+
+fn read_record(path: &str) -> Result<Value, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn field_f64(v: &Value, key: &str, path: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{path}: missing numeric field `{key}`"))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("LDP_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.98)
+        .clamp(0.0, 1.0)
+}
+
+fn gate(baseline: &Value, new: &Value, args: (&str, &str)) -> Result<Option<String>, String> {
+    let (bpath, npath) = args;
+    let old_scale = field_f64(baseline, "scale", bpath)?;
+    let new_scale = field_f64(new, "scale", npath)?;
+    if old_scale != new_scale {
+        return Ok(Some(format!(
+            "scales differ (baseline {old_scale}, new {new_scale}) — records incomparable, gate skipped"
+        )));
+    }
+    let old_rate = field_f64(baseline, "mean_rate_qps", bpath)?;
+    let new_rate = field_f64(new, "mean_rate_qps", npath)?;
+    let tol = tolerance();
+    let floor = old_rate * tol;
+    if new_rate < floor {
+        return Err(format!(
+            "throughput regression: {new_rate:.0} q/s < {floor:.0} q/s \
+             (baseline {old_rate:.0} × tolerance {tol})"
+        ));
+    }
+    println!(
+        "bench gate: ok — {new_rate:.0} q/s vs baseline {old_rate:.0} q/s \
+         (floor {floor:.0}, tolerance {tol})"
+    );
+    Ok(None)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <baseline.json> <new.json>");
+        std::process::exit(2);
+    }
+    let run = || -> Result<Option<String>, String> {
+        let baseline = read_record(&args[1])?;
+        let new = read_record(&args[2])?;
+        gate(&baseline, &new, (&args[1], &args[2]))
+    };
+    match run() {
+        Ok(None) => {}
+        Ok(Some(skip)) => println!("bench gate: {skip}"),
+        Err(e) => {
+            eprintln!("bench gate FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn passes_within_tolerance() {
+        let old = json!({"scale": 0.3, "mean_rate_qps": 100_000.0});
+        let new = json!({"scale": 0.3, "mean_rate_qps": 99_000.0});
+        assert!(gate(&old, &new, ("a", "b")).unwrap().is_none());
+    }
+
+    #[test]
+    fn fails_on_regression() {
+        let old = json!({"scale": 0.3, "mean_rate_qps": 100_000.0});
+        let new = json!({"scale": 0.3, "mean_rate_qps": 90_000.0});
+        assert!(gate(&old, &new, ("a", "b")).is_err());
+    }
+
+    #[test]
+    fn skips_on_scale_mismatch() {
+        let old = json!({"scale": 0.3, "mean_rate_qps": 100_000.0});
+        let new = json!({"scale": 1.0, "mean_rate_qps": 10.0});
+        assert!(gate(&old, &new, ("a", "b")).unwrap().is_some());
+    }
+
+    #[test]
+    fn missing_fields_are_errors() {
+        let old = json!({"scale": 0.3});
+        let new = json!({"scale": 0.3, "mean_rate_qps": 1.0});
+        assert!(gate(&old, &new, ("a", "b")).is_err());
+    }
+}

@@ -6,6 +6,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use ldp_bench::RunManifest;
+use ldp_obs::{ReplaySpans, StageBreakdown};
 use ldp_replay::{LiveReplay, ReplayMode};
 use ldp_server::auth::AuthEngine;
 use ldp_server::live::LiveServer;
@@ -58,6 +60,8 @@ async fn main() {
     replay.mode = ReplayMode::Fast;
     // Room for the full retry ladder; the adaptive drain exits early.
     replay.drain = Duration::from_secs(4);
+    let obs = ReplaySpans::from_env(replay.distributors * replay.queriers_per_distributor);
+    replay.obs = obs.clone();
     let report = replay.run(trace(QUERIES)).await.expect("replay runs");
 
     let dropped = chaos
@@ -102,6 +106,30 @@ async fn main() {
             "accounting leak: answered {} + gave_up {} != sent {}",
             report.answered, report.gave_up, report.sent
         ));
+    }
+
+    // Manifest: the chaos policy that ran, the replay's fault ledger, and
+    // (when `LDP_OBS_SAMPLE` is set) the per-stage span breakdown with its
+    // retry wire segments.
+    let mut manifest = RunManifest::new("chaos_smoke")
+        .seed(SEED)
+        .chaos_policy(serde_json::json!({
+            "drop_responses": DROP_P,
+            "seed": SEED,
+        }))
+        .faults(serde_json::json!({
+            "server_dropped": dropped,
+            "timeouts": report.timeouts,
+            "retries": report.retries,
+            "gave_up": report.gave_up,
+            "errors": report.errors,
+        }));
+    if let Some(spans) = &obs {
+        manifest = manifest.stage_breakdown(&StageBreakdown::from_events(&spans.events()));
+    }
+    match manifest.write(&ldp_bench::output_dir(), "chaos_smoke") {
+        Ok(path) => println!("[manifest: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
     }
 
     if violations.is_empty() {

@@ -16,8 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ldp_bench::{emit, max_rss_bytes, scale, Report};
+use ldp_bench::{emit_with, max_rss_bytes, scale, Report, RunManifest};
 use ldp_metrics::PipelineTotals;
+use ldp_obs::{ReplaySpans, StageBreakdown};
 use ldp_replay::{LiveReplay, ReplayMode};
 use ldp_server::auth::AuthEngine;
 use ldp_server::live::LiveServer;
@@ -79,7 +80,7 @@ async fn main() {
     let budget_s = (10.0 * scale).clamp(6.0, 60.0);
     let window_s = (budget_s / 3.0).min(2.0);
     let progress = Arc::new(AtomicU64::new(0));
-    let replay = LiveReplay {
+    let mut replay = LiveReplay {
         mode: ReplayMode::Fast,
         drain: std::time::Duration::from_millis(50),
         progress: Some(progress.clone()),
@@ -89,6 +90,10 @@ async fn main() {
         retry: ldp_replay::RetryPolicy::disabled(),
         ..LiveReplay::new(server.addr)
     };
+    // Opt-in span recording (`LDP_OBS_SAMPLE`): the manifest then carries
+    // per-stage latency histograms alongside the throughput series.
+    let obs = ReplaySpans::from_env(replay.distributors * replay.queriers_per_distributor);
+    replay.obs = obs.clone();
     let budget = Duration::from_secs_f64(budget_s);
     let records = query_stream(budget);
     let runner = tokio::spawn(async move { replay.run_stream(records).await });
@@ -169,13 +174,25 @@ async fn main() {
     println!(
         "\npaper shape: flat CPU-bound plateau; 87 k q/s (60 Mb/s) on the paper's 2.4 GHz Xeon"
     );
-    emit(&report, "fig09_throughput");
+    let mut manifest = RunManifest::new("fig09_throughput")
+        .scale(scale)
+        .throughput(rates.clone())
+        .faults(json!(totals))
+        .stage("server_handle", &server.stats.handle_hist());
+    if let Some(spans) = &obs {
+        let breakdown = StageBreakdown::from_events(&spans.events());
+        manifest = manifest
+            .stage_breakdown(&breakdown)
+            .extra("span_overwritten", json!(spans.overwritten()));
+    }
+    emit_with(&report, "fig09_throughput", &manifest);
 
     // Machine-readable bench record for CI smoke checks and cross-commit
     // throughput comparisons.
     let bench = json!({
         "bench": "fig09_throughput",
         "scale": scale,
+        "obs_sample": ldp_obs::sample_from_env(),
         "windows": window,
         "total_queries": total_sent,
         "mean_rate_qps": mean,

@@ -11,8 +11,8 @@
 //! * non-busy TLS median rising from 2 toward 4 RTT with RTT;
 //! * the load CDF shows ~1% of clients carrying ~75% of queries.
 
-use ldp_bench::{emit, scale, traces, Cdf, Report, Summary};
-use ldp_replay::simclient::{non_busy_latencies_ms, per_client_counts};
+use ldp_bench::{emit_with, scale, traces, Cdf, Report, RunManifest};
+use ldp_replay::simclient::{non_busy_latency_hist, per_client_counts};
 use ldp_trace::mutate;
 use ldplayer::SimExperiment;
 use serde_json::json;
@@ -27,6 +27,7 @@ fn main() {
     let mut all_rows: Vec<Vec<serde_json::Value>> = Vec::new();
     let mut nonbusy_rows: Vec<Vec<serde_json::Value>> = Vec::new();
     let mut load_cdf_rows: Vec<Vec<serde_json::Value>> = Vec::new();
+    let mut baseline_hist = None;
 
     for (label, mutator) in [
         ("original (3% TCP)", None),
@@ -49,8 +50,10 @@ fn main() {
                 result.answer_rate()
             );
 
-            // (a) all clients.
-            if let Some(s) = Summary::compute(&result.latencies_ms()) {
+            // (a) all clients: quantiles from the merged per-shard
+            // histogram (µs ticks summarized in ms), not from sorting a
+            // pooled sample vector — fixed memory at any trace size.
+            if let Some(s) = result.latency_hist.summary(1000.0) {
                 println!(
                     "(a) {label:<18} RTT {rtt:>3} ms: median {:7.1} ms (q1 {:6.1}, q3 {:6.1}, p95 {:7.1})",
                     s.median, s.q1, s.q3, s.p95
@@ -80,7 +83,7 @@ fn main() {
                     .unwrap_or(250)
                     .max(2)
             };
-            if let Some(s) = Summary::compute(&non_busy_latencies_ms(&result.outcomes, threshold)) {
+            if let Some(s) = non_busy_latency_hist(&result.outcomes, threshold).summary(1000.0) {
                 nonbusy_rows.push(vec![
                     json!(label),
                     json!(rtt),
@@ -93,6 +96,7 @@ fn main() {
             }
             // (c) per-client load CDF, once (workload-independent).
             if label == "original (3% TCP)" && rtt == rtts[0] {
+                baseline_hist = Some(result.latency_hist.clone());
                 let counts = per_client_counts(&result.outcomes);
                 let loads: Vec<f64> = counts.values().map(|&c| c as f64).collect();
                 let cdf = Cdf::new(&loads);
@@ -133,5 +137,13 @@ fn main() {
     }
 
     println!("\npaper shapes: UDP flat at 1 RTT; non-busy TCP ≈2 RTT median; TLS 2→4 RTT; heavy-tailed load");
-    emit(&report, "fig15_latency");
+    let mut manifest = RunManifest::new("fig15_latency")
+        .seed(cfg.seed)
+        .scale(scale);
+    if let Some(h) = &baseline_hist {
+        // The original-workload run at the smallest RTT, recorded as the
+        // full merged per-shard latency histogram.
+        manifest = manifest.stage("latency_all_clients", h);
+    }
+    emit_with(&report, "fig15_latency", &manifest);
 }

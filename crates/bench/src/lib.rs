@@ -12,7 +12,8 @@
 
 use std::path::PathBuf;
 
-pub use ldp_metrics::{Cdf, Report, Summary};
+pub use ldp_metrics::{Cdf, LogHistogram, Report, Summary};
+pub use ldp_obs::RunManifest;
 
 /// Experiment scale factor from `LDP_SCALE` (default 1.0, clamped to
 /// [0.05, 100]).
@@ -38,6 +39,17 @@ pub fn emit(report: &Report, stem: &str) {
     match report.write_files(&dir, stem) {
         Ok(()) => println!("\n[written: {}/{stem}.txt, {stem}.json]", dir.display()),
         Err(e) => eprintln!("warning: could not write results: {e}"),
+    }
+}
+
+/// Like [`emit`], but also writes the run manifest to
+/// `results/<stem>.manifest.json` — the per-run provenance artifact
+/// (git rev, seed, scale, stage histograms, fault counters).
+pub fn emit_with(report: &Report, stem: &str, manifest: &RunManifest) {
+    emit(report, stem);
+    match manifest.write(&output_dir(), stem) {
+        Ok(path) => println!("[manifest: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
     }
 }
 

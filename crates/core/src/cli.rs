@@ -67,8 +67,11 @@ USAGE:
   ldplayer zonegen  CAPTURE -o DIR           # rebuild zone master files (§2.3)
   ldplayer serve    --zones DIR [--listen ADDR]  # live authoritative server
   ldplayer replay   FILE --server ADDR [--fast] [--speed FACTOR]
-                    [--queriers N] [--stream]  # timing-faithful replay (§2.6);
-                                               # --stream reads .ldps incrementally
+                    [--queriers N] [--stream] [--manifest PATH]
+                                               # timing-faithful replay (§2.6);
+                                               # --stream reads .ldps incrementally;
+                                               # --manifest writes a run-manifest JSON
+                                               #   (per-stage latency breakdown)
 
 Trace formats by extension: .ldpc binary capture | .ldps binary stream |
 .txt plain text | .pcap libpcap (tcpdump/wireshark)
@@ -454,13 +457,18 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
 }
 
 fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
-    let f = Flags::parse(args, &["server", "speed", "queriers"], &["fast", "stream"])?;
+    let f = Flags::parse(
+        args,
+        &["server", "speed", "queriers", "manifest"],
+        &["fast", "stream"],
+    )?;
     let input = f.positional.first().ok_or("replay needs a trace file")?;
     let server: std::net::SocketAddr = f
         .get("server")
         .ok_or("replay needs --server ADDR")?
         .parse()
         .map_err(|_| "--server: bad address")?;
+    let manifest_path = f.get("manifest").map(PathBuf::from);
     let mut replay = ldp_replay::LiveReplay::new(server);
     replay.queriers_per_distributor = f.get_parse("queriers", 6usize)?;
     replay.mode = if f.has("fast") {
@@ -470,6 +478,15 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
             speed: 1.0 / f.get_parse("speed", 1.0f64)?.max(1e-9),
         }
     };
+    // `--manifest` needs the per-stage breakdown, so it forces full span
+    // recording; otherwise spans follow the `LDP_OBS_SAMPLE` opt-in.
+    let shards = replay.distributors * replay.queriers_per_distributor;
+    let spans = if manifest_path.is_some() {
+        Some(Arc::new(ldp_obs::ReplaySpans::full(shards)))
+    } else {
+        ldp_obs::ReplaySpans::from_env(shards)
+    };
+    replay.obs = spans.clone();
     let rt = tokio::runtime::Runtime::new().map_err(io_err)?;
     let report = if f.has("stream") {
         // Incremental read: only .ldps supports streaming decode.
@@ -510,6 +527,31 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
             s.median, s.q3, s.max
         )
         .map_err(io_err)?;
+    }
+    if let Some(path) = manifest_path {
+        let spans = spans.expect("--manifest forces span recording");
+        let breakdown = ldp_obs::StageBreakdown::from_events(&spans.events());
+        let manifest = ldp_obs::RunManifest::new("cli_replay")
+            .retry_policy(serde_json::json!(replay.retry))
+            .stage_breakdown(&breakdown)
+            .stage("end_to_end", &report.latency_hist())
+            .faults(serde_json::json!({
+                "timeouts": report.timeouts,
+                "retries": report.retries,
+                "reconnects": report.reconnects,
+                "gave_up": report.gave_up,
+                "errors": report.errors,
+            }))
+            .extra("report", serde_json::json!(report));
+        let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("replay");
+        let written = manifest
+            .write(&dir, stem)
+            .map_err(|e| format!("write manifest: {e}"))?;
+        writeln!(out, "manifest: {}", written.display()).map_err(io_err)?;
     }
     Ok(0)
 }
@@ -700,15 +742,31 @@ mod tests {
             rt.block_on(async { tokio::time::sleep(std::time::Duration::from_secs(30)).await });
         });
 
+        let manifest_arg = dir.join("run.json");
         let msg = run_ok(&[
             "replay",
             trace_file.to_str().unwrap(),
             "--server",
             &addr,
             "--fast",
+            "--manifest",
+            manifest_arg.to_str().unwrap(),
         ]);
         assert!(msg.contains("sent 200 queries"), "{msg}");
         assert!(msg.contains("latency"), "{msg}");
+
+        // --manifest wrote the run manifest next to the requested path.
+        let manifest_file = dir.join("run.manifest.json");
+        assert!(msg.contains("manifest:"), "{msg}");
+        let body = std::fs::read_to_string(&manifest_file).unwrap();
+        assert!(
+            body.contains("\"schema\": \"ldp.run-manifest/v1\""),
+            "{body}"
+        );
+        for stage in ["queue_wait", "batch_wait", "send_lag", "end_to_end"] {
+            assert!(body.contains(&format!("\"{stage}\"")), "missing {stage}");
+        }
+        assert!(body.contains("\"retry\""), "{body}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

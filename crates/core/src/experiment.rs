@@ -187,14 +187,26 @@ impl SimExperiment {
         sim.run_until(deadline);
 
         let mut outcomes = Vec::new();
+        // One histogram per querier shard, merged — the same shape the
+        // live engine produces, and what proves LogHistogram::merge is
+        // lossless against the pooled outcome vector.
+        let mut latency_hist = ldp_metrics::LogHistogram::new();
         for id in &querier_ids {
             let q: &SimQuerier = sim.node_as(*id).expect("querier node");
+            let mut shard_hist = ldp_metrics::LogHistogram::new();
+            for o in &q.outcomes {
+                if let Some(us) = o.latency_us() {
+                    shard_hist.record(us);
+                }
+            }
+            latency_hist.merge(&shard_hist);
             outcomes.extend(q.outcomes.iter().copied());
         }
         outcomes.sort_by_key(|o| o.trace_time_us);
         let server: &AuthServerNode = sim.node_as(server_id).expect("server node");
         SimRunResult {
             outcomes,
+            latency_hist,
             samples: server.samples.clone(),
             usage: server.usage,
             final_tcp: server.tcp.snapshot(),
@@ -211,6 +223,10 @@ impl SimExperiment {
 pub struct SimRunResult {
     /// Per-query outcomes across all queriers, trace-time ordered.
     pub outcomes: Vec<SimOutcome>,
+    /// Answered-query latencies (µs), merged from one fixed-memory
+    /// histogram per querier shard. Quantiles read from here are exact to
+    /// within one log-bucket width of the sorted-sample quantiles.
+    pub latency_hist: ldp_metrics::LogHistogram,
     /// Per-interval server samples (memory, connections, CPU, bandwidth).
     pub samples: Vec<ServerSample>,
     pub usage: ResourceUsage,

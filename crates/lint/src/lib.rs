@@ -38,6 +38,10 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/replay/src/engine.rs",
     "crates/replay/src/retry.rs",
     "crates/netsim/src/tcp.rs",
+    // The span ring records a stamp per query stage inside the send path;
+    // a panic or allocation spike here would distort the very latencies
+    // it exists to measure.
+    "crates/obs/src/span.rs",
 ];
 
 /// Crates whose parser entry points R4 audits.
@@ -194,6 +198,10 @@ mod tests {
         assert!(!s.hot_path);
         let s = workspace_scope(Path::new("crates/netsim/src/tcp.rs"));
         assert!(s.hot_path);
+        let s = workspace_scope(Path::new("crates/obs/src/span.rs"));
+        assert!(s.hot_path, "span stamping rides the engine hot path");
+        let s = workspace_scope(Path::new("crates/obs/src/manifest.rs"));
+        assert!(!s.hot_path, "manifest emission is post-run, not hot");
         let s = workspace_scope(Path::new("crates/metrics/src/report.rs"));
         assert!(!s.hot_path && !s.wire && s.async_blocking);
         // The trace on-disk writers are wire scope without being hot path.

@@ -20,12 +20,14 @@
 #![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
 
 pub mod cdf;
+pub mod hist;
 pub mod report;
 pub mod series;
 pub mod shard;
 pub mod summary;
 
 pub use cdf::Cdf;
+pub use hist::LogHistogram;
 pub use report::Report;
 pub use series::{RateSeries, TimeSeries};
 pub use shard::{DepthRing, PipelineTotals, ShardStats};

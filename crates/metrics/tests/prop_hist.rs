@@ -1,0 +1,112 @@
+//! Property tests for [`LogHistogram`]: merge is associative and
+//! commutative, recorded counts are conserved, and every quantile's
+//! reported error stays within the bucket bound.
+
+use ldp_metrics::LogHistogram;
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Spread samples across octaves so the log bucketing actually engages:
+/// raw `u64` generators would almost always land in the top few octaves.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u32..40, 0u64..1024).prop_map(|(octave, fill)| (1u64 << octave) + fill % (1u64 << octave))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(a, b) == merge(b, a), and count/sum/min/max are conserved
+    /// exactly — nothing is lost or double-counted.
+    #[test]
+    fn merge_commutes_and_conserves(
+        xs in proptest::collection::vec(sample(), 0..80),
+        ys in proptest::collection::vec(sample(), 0..80),
+    ) {
+        let (a, b) = (build(&xs), build(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+
+        // Merging equals recording the concatenation.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(&ab, &build(&all));
+        prop_assert_eq!(ab.min(), all.iter().min().copied());
+        prop_assert_eq!(ab.max(), all.iter().max().copied());
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): shard results can fold in any order.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(sample(), 0..50),
+        ys in proptest::collection::vec(sample(), 0..50),
+        zs in proptest::collection::vec(sample(), 0..50),
+    ) {
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Every quantile's reported value sits in the same bucket as the
+    /// exact order statistic of the same rank (`⌈q·n⌉`), so the error is
+    /// bounded by that bucket's width.
+    #[test]
+    fn quantile_error_within_bucket_bound(
+        values in proptest::collection::vec(sample(), 1..200),
+        q_permille in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in q_permille.into_iter().map(|p| p as f64 / 1000.0) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q).expect("non-empty");
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+            prop_assert!(
+                (lo..=hi).contains(&exact),
+                "exact order statistic {exact} outside reported bucket [{lo}, {hi}] at q={q}"
+            );
+            prop_assert!(
+                got.abs_diff(exact) < LogHistogram::bucket_width(exact).max(1),
+                "quantile {got} vs exact {exact}: error exceeds bucket width at q={q}"
+            );
+        }
+    }
+
+    /// Count conservation under record_n and repeated merges of the same
+    /// histogram (self-similar folding, as the engine does per shard).
+    #[test]
+    fn count_conserved_under_record_n(
+        pairs in proptest::collection::vec((sample(), 1u64..50), 0..40),
+    ) {
+        let mut h = LogHistogram::new();
+        for &(v, n) in &pairs {
+            h.record_n(v, n);
+        }
+        let expect: u64 = pairs.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(h.count(), expect);
+        let mut doubled = h.clone();
+        doubled.merge(&h);
+        prop_assert_eq!(doubled.count(), expect * 2);
+        if let (Some(m), Some(d)) = (h.mean(), doubled.mean()) {
+            prop_assert!((m - d).abs() < 1e-9, "doubling must not move the mean");
+        }
+    }
+}

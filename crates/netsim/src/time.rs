@@ -79,6 +79,11 @@ impl SimDuration {
         self.0 as f64 / 1e6
     }
 
+    /// Whole microseconds (truncating), the histogram tick unit.
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// Transmission time of `bytes` at `bits_per_sec`.
     pub fn serialization(bytes: usize, bits_per_sec: u64) -> SimDuration {
         if bits_per_sec == 0 {

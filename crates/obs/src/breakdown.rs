@@ -1,0 +1,241 @@
+//! Turning raw span events into per-query decompositions and per-stage
+//! latency histograms.
+//!
+//! A fault-free query's stages telescope: `batch_wait + queue_wait +
+//! send_lag + rtt == end-to-end` exactly, because each duration is the
+//! difference of adjacent stage timestamps. `rtt` is wire plus server
+//! time combined — a live replay cannot split them without server-side
+//! clocks, which is exactly what the server's own handle-time histogram
+//! (`LiveStats`) provides alongside.
+
+use std::collections::BTreeMap;
+
+use ldp_metrics::LogHistogram;
+
+use crate::span::{SpanEvent, Stage};
+
+/// The assembled span of one query: first timestamp seen for each
+/// terminal-less stage, plus every retry segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuerySpan {
+    pub shard: u32,
+    pub seq: u64,
+    pub read_us: Option<u64>,
+    pub batched_us: Option<u64>,
+    pub scheduled_us: Option<u64>,
+    pub sent_us: Option<u64>,
+    pub answered_us: Option<u64>,
+    pub gave_up_us: Option<u64>,
+    /// Retransmit timestamps — each is one extra wire segment.
+    pub retries_us: Vec<u64>,
+}
+
+impl QuerySpan {
+    /// Time from batch flush until the querier dequeued the batch.
+    pub fn queue_wait_us(&self) -> Option<u64> {
+        Some(self.scheduled_us?.saturating_sub(self.batched_us?))
+    }
+
+    /// Time the record sat in the Postman's batcher before flush.
+    pub fn batch_wait_us(&self) -> Option<u64> {
+        Some(self.batched_us?.saturating_sub(self.read_us?))
+    }
+
+    /// Pacing delay: dequeue → first datagram on the wire. In timed mode
+    /// this is dominated by the schedule (waiting for the trace's send
+    /// time), not by overhead.
+    pub fn send_lag_us(&self) -> Option<u64> {
+        Some(self.sent_us?.saturating_sub(self.scheduled_us?))
+    }
+
+    /// Wire + server time: first send → answer (spanning any retries).
+    pub fn rtt_us(&self) -> Option<u64> {
+        Some(self.answered_us?.saturating_sub(self.sent_us?))
+    }
+
+    /// Reader pickup → answer.
+    pub fn end_to_end_us(&self) -> Option<u64> {
+        Some(self.answered_us?.saturating_sub(self.read_us?))
+    }
+
+    /// Extra wire segments this query cost (retransmits).
+    pub fn wire_segments(&self) -> usize {
+        1 + self.retries_us.len()
+    }
+}
+
+/// Groups a drained, sorted event list into per-query spans. Events for
+/// the same `(shard, seq)` merge; for duplicated stages the earliest
+/// timestamp wins (retries excepted — every retry is kept).
+pub fn assemble(events: &[SpanEvent]) -> Vec<QuerySpan> {
+    let mut by_query: BTreeMap<(u32, u64), QuerySpan> = BTreeMap::new();
+    for e in events {
+        let span = by_query
+            .entry((e.shard, e.seq))
+            .or_insert_with(|| QuerySpan {
+                shard: e.shard,
+                seq: e.seq,
+                ..QuerySpan::default()
+            });
+        let slot = match e.stage {
+            Stage::Read => &mut span.read_us,
+            Stage::Batched => &mut span.batched_us,
+            Stage::Scheduled => &mut span.scheduled_us,
+            Stage::Sent => &mut span.sent_us,
+            Stage::Answered => &mut span.answered_us,
+            Stage::GaveUp => &mut span.gave_up_us,
+            Stage::Retry => {
+                span.retries_us.push(e.t_us);
+                continue;
+            }
+        };
+        *slot = Some(match *slot {
+            Some(prev) => prev.min(e.t_us),
+            None => e.t_us,
+        });
+    }
+    by_query.into_values().collect()
+}
+
+/// Per-stage latency histograms over a whole replay (µs ticks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    pub batch_wait: LogHistogram,
+    pub queue_wait: LogHistogram,
+    pub send_lag: LogHistogram,
+    pub rtt: LogHistogram,
+    pub end_to_end: LogHistogram,
+    /// Queries assembled (sampled queries with at least one event).
+    pub queries: u64,
+    /// Answered queries (contributing to `rtt` / `end_to_end`).
+    pub answered: u64,
+    /// Abandoned queries.
+    pub gave_up: u64,
+    /// Extra wire segments across all queries (retransmits).
+    pub retries: u64,
+}
+
+impl StageBreakdown {
+    pub fn from_events(events: &[SpanEvent]) -> StageBreakdown {
+        let mut b = StageBreakdown::default();
+        for span in assemble(events) {
+            b.queries += 1;
+            b.retries += span.retries_us.len() as u64;
+            if span.answered_us.is_some() {
+                b.answered += 1;
+            }
+            if span.gave_up_us.is_some() {
+                b.gave_up += 1;
+            }
+            if let Some(d) = span.batch_wait_us() {
+                b.batch_wait.record(d);
+            }
+            if let Some(d) = span.queue_wait_us() {
+                b.queue_wait.record(d);
+            }
+            if let Some(d) = span.send_lag_us() {
+                b.send_lag.record(d);
+            }
+            if let Some(d) = span.rtt_us() {
+                b.rtt.record(d);
+            }
+            if let Some(d) = span.end_to_end_us() {
+                b.end_to_end.record(d);
+            }
+        }
+        b
+    }
+
+    /// `(name, histogram)` pairs in manifest order.
+    pub fn stages(&self) -> [(&'static str, &LogHistogram); 5] {
+        [
+            ("batch_wait", &self.batch_wait),
+            ("queue_wait", &self.queue_wait),
+            ("send_lag", &self.send_lag),
+            ("rtt", &self.rtt),
+            ("end_to_end", &self.end_to_end),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(shard: u32, seq: u64, stage: Stage, t_us: u64) -> SpanEvent {
+        SpanEvent {
+            shard,
+            seq,
+            stage,
+            t_us,
+        }
+    }
+
+    #[test]
+    fn fault_free_span_telescopes() {
+        let events = vec![
+            ev(0, 0, Stage::Read, 100),
+            ev(0, 0, Stage::Batched, 150),
+            ev(0, 0, Stage::Scheduled, 175),
+            ev(0, 0, Stage::Sent, 200),
+            ev(0, 0, Stage::Answered, 450),
+        ];
+        let spans = assemble(&events);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.batch_wait_us(), Some(50));
+        assert_eq!(s.queue_wait_us(), Some(25));
+        assert_eq!(s.send_lag_us(), Some(25));
+        assert_eq!(s.rtt_us(), Some(250));
+        assert_eq!(s.end_to_end_us(), Some(350));
+        let sum = s.batch_wait_us().unwrap()
+            + s.queue_wait_us().unwrap()
+            + s.send_lag_us().unwrap()
+            + s.rtt_us().unwrap();
+        assert_eq!(sum, s.end_to_end_us().unwrap());
+        assert_eq!(s.wire_segments(), 1);
+    }
+
+    #[test]
+    fn retries_become_wire_segments() {
+        let events = vec![
+            ev(0, 7, Stage::Sent, 100),
+            ev(0, 7, Stage::Retry, 350),
+            ev(0, 7, Stage::Retry, 850),
+            ev(0, 7, Stage::Answered, 900),
+        ];
+        let spans = assemble(&events);
+        assert_eq!(spans[0].wire_segments(), 3);
+        let b = StageBreakdown::from_events(&events);
+        assert_eq!(b.retries, 2);
+        assert_eq!(b.answered, 1);
+    }
+
+    #[test]
+    fn missing_stages_do_not_pollute_histograms() {
+        // Sent but never answered (gave up): no rtt/e2e samples.
+        let events = vec![
+            ev(0, 1, Stage::Read, 10),
+            ev(0, 1, Stage::Sent, 30),
+            ev(0, 1, Stage::GaveUp, 500_000),
+        ];
+        let b = StageBreakdown::from_events(&events);
+        assert_eq!(b.queries, 1);
+        assert_eq!(b.gave_up, 1);
+        assert!(b.rtt.is_empty());
+        assert!(b.end_to_end.is_empty());
+    }
+
+    #[test]
+    fn queries_on_different_shards_stay_separate() {
+        let events = vec![
+            ev(0, 4, Stage::Sent, 100),
+            ev(1, 4, Stage::Sent, 200),
+            ev(1, 4, Stage::Answered, 260),
+        ];
+        let spans = assemble(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].answered_us, None);
+        assert_eq!(spans[1].rtt_us(), Some(60));
+    }
+}

@@ -1,0 +1,31 @@
+//! `ldp-obs`: low-overhead observability for the replay pipeline.
+//!
+//! The paper's evaluation stands on accurate latency and throughput
+//! attribution; this crate makes the replay's *internal* time visible so
+//! those numbers can be trusted. Three pieces:
+//!
+//! * [`span`] — per-query stage-transition events (read → batched →
+//!   scheduled → sent → answered / retry / gave-up) recorded into
+//!   lock-free per-shard rings. Overhead is one atomic `fetch_add` plus
+//!   two stores per event, and a sampling knob (`LDP_OBS_SAMPLE`) gates
+//!   the whole thing off by default.
+//! * [`breakdown`] — assembles drained events into per-query spans whose
+//!   stage durations telescope to end-to-end latency exactly, and folds
+//!   them into fixed-memory [`ldp_metrics::LogHistogram`]s per stage.
+//! * [`manifest`] — [`RunManifest`], the timestamp-free JSON artifact
+//!   every bench binary and the CLI emit: git rev, seed, scale, policies,
+//!   per-stage histograms, fault counters. Deterministic by construction
+//!   so CI can diff two runs byte-for-byte.
+//!
+//! Dependency-light on purpose: `ldp-metrics` and the vendored serde
+//! stubs only, so every layer of the pipeline can use it without cycles.
+
+#![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
+
+pub mod breakdown;
+pub mod manifest;
+pub mod span;
+
+pub use breakdown::{assemble, QuerySpan, StageBreakdown};
+pub use manifest::{git_rev, RunManifest, SCHEMA};
+pub use span::{sample_from_env, ReplaySpans, SpanEvent, Stage};

@@ -1,0 +1,280 @@
+//! Run manifests: one JSON artifact per experiment run that pins down
+//! *what ran* (git rev, seed, scale, retry/chaos policies) and *what
+//! happened* (per-stage latency histograms, fault counters, throughput
+//! series) in a schema stable enough to diff across commits.
+//!
+//! Manifests are deliberately **timestamp-free**: two runs of the same
+//! binary at the same seed on the same tree must produce byte-identical
+//! manifests, which is what lets CI double-run the suite and diff the
+//! artifacts to catch nondeterminism. Anything wall-clock-dependent
+//! (actual throughput, RSS) belongs in `BENCH_*.json` records, not here —
+//! except where a bench explicitly opts in via [`RunManifest::extra`].
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ldp_metrics::LogHistogram;
+use serde::{Serialize, Value};
+use serde_json::json;
+
+use crate::breakdown::StageBreakdown;
+
+/// Manifest schema identifier; bump only with a migration note in
+/// DESIGN.md §9.
+pub const SCHEMA: &str = "ldp.run-manifest/v1";
+
+/// A run manifest under construction. Field order in the emitted JSON is
+/// fixed (schema, name, git_rev, seed, scale, obs_sample, retry, chaos,
+/// stages, faults, throughput_qps, extra) — golden tests pin it.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    pub name: String,
+    pub git_rev: String,
+    pub seed: Option<u64>,
+    pub scale: Option<f64>,
+    pub obs_sample: u64,
+    retry: Option<Value>,
+    chaos: Option<Value>,
+    stages: Vec<(String, Value)>,
+    faults: Option<Value>,
+    throughput_qps: Vec<f64>,
+    extra: Vec<(String, Value)>,
+}
+
+impl RunManifest {
+    pub fn new(name: impl Into<String>) -> RunManifest {
+        RunManifest {
+            name: name.into(),
+            git_rev: git_rev(),
+            seed: None,
+            scale: None,
+            obs_sample: crate::span::sample_from_env(),
+            retry: None,
+            chaos: None,
+            stages: Vec::new(),
+            faults: None,
+            throughput_qps: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn seed(mut self, seed: u64) -> RunManifest {
+        self.seed = Some(seed);
+        self
+    }
+
+    pub fn scale(mut self, scale: f64) -> RunManifest {
+        self.scale = Some(scale);
+        self
+    }
+
+    pub fn retry_policy(mut self, policy: Value) -> RunManifest {
+        self.retry = Some(policy);
+        self
+    }
+
+    pub fn chaos_policy(mut self, policy: Value) -> RunManifest {
+        self.chaos = Some(policy);
+        self
+    }
+
+    /// Adds one named stage histogram (µs ticks). The JSON entry carries
+    /// the raw sparse histogram plus a millisecond summary for humans.
+    pub fn stage(mut self, name: &str, hist: &LogHistogram) -> RunManifest {
+        let summary = hist.summary(1000.0).map(|s| s.to_json_value());
+        self.stages.push((
+            name.to_string(),
+            json!({
+                "unit": "us",
+                "histogram": hist,
+                "summary_ms": summary,
+            }),
+        ));
+        self
+    }
+
+    /// Adds every stage of a [`StageBreakdown`] plus its span counters.
+    pub fn stage_breakdown(mut self, b: &StageBreakdown) -> RunManifest {
+        for (name, hist) in b.stages() {
+            self = self.stage(name, hist);
+        }
+        self.extra.push((
+            "span_counts".to_string(),
+            json!({
+                "queries": b.queries,
+                "answered": b.answered,
+                "gave_up": b.gave_up,
+                "retries": b.retries,
+            }),
+        ));
+        self
+    }
+
+    /// Fault counters (typically a serialized `PipelineTotals`).
+    pub fn faults(mut self, faults: Value) -> RunManifest {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Per-window throughput series (q/s). Wall-clock-derived: include
+    /// only in bench manifests, never in determinism-diffed ones.
+    pub fn throughput(mut self, qps: Vec<f64>) -> RunManifest {
+        self.throughput_qps = qps;
+        self
+    }
+
+    /// Free-form extension field (appears under `"extra"`, insertion
+    /// order preserved).
+    pub fn extra(mut self, key: &str, value: Value) -> RunManifest {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// Writes `<stem>.manifest.json` under `dir`, creating it if needed.
+    pub fn write(&self, dir: &Path, stem: &str) -> io::Result<PathBuf> {
+        let path = dir.join(format!("{stem}.manifest.json"));
+        std::fs::create_dir_all(dir)?;
+        let body = serde_json::to_string_pretty(&self.to_json_value())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+impl Serialize for RunManifest {
+    fn to_json_value(&self) -> Value {
+        let stages = Value::Object(self.stages.clone());
+        let extra = Value::Object(self.extra.clone());
+        json!({
+            "schema": SCHEMA,
+            "name": self.name,
+            "git_rev": self.git_rev,
+            "seed": self.seed,
+            "scale": self.scale,
+            "obs_sample": self.obs_sample,
+            "retry": self.retry,
+            "chaos": self.chaos,
+            "stages": stages,
+            "faults": self.faults,
+            "throughput_qps": self.throughput_qps,
+            "extra": extra,
+        })
+    }
+}
+
+/// The current git revision: `LDP_GIT_REV` if set (CI provides it),
+/// otherwise read from `.git/HEAD` (following one level of symbolic
+/// ref), searching upward from the current directory. Falls back to
+/// `"unknown"` — a manifest must never fail over provenance.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("LDP_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return rev_from_git_dir(&git).unwrap_or_else(|| "unknown".to_string());
+        }
+        if !dir.pop() {
+            return "unknown".to_string();
+        }
+    }
+}
+
+fn rev_from_git_dir(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        let direct = std::fs::read_to_string(git.join(refname))
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        if direct.is_some() {
+            return direct;
+        }
+        // Ref may be packed.
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(rev) = line.strip_suffix(refname) {
+                let rev = rev.trim();
+                if !rev.is_empty() && !rev.starts_with('#') {
+                    return Some(rev.to_string());
+                }
+            }
+        }
+        None
+    } else if head.is_empty() {
+        None
+    } else {
+        Some(head.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_key_order_is_fixed() {
+        let m = RunManifest::new("t").seed(42).scale(1.0);
+        let v = m.to_json_value();
+        let Value::Object(fields) = &v else {
+            panic!("manifest must serialize to an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "name",
+                "git_rev",
+                "seed",
+                "scale",
+                "obs_sample",
+                "retry",
+                "chaos",
+                "stages",
+                "faults",
+                "throughput_qps",
+                "extra",
+            ]
+        );
+    }
+
+    #[test]
+    fn same_inputs_serialize_identically() {
+        let build = || {
+            let mut h = LogHistogram::new();
+            h.record_n(500, 20);
+            h.record(90_000);
+            RunManifest::new("det")
+                .seed(7)
+                .scale(0.3)
+                .stage("rtt", &h)
+                .extra("k", json!(1))
+        };
+        let a = serde_json::to_string_pretty(&build().to_json_value()).expect("serializes");
+        let b = serde_json::to_string_pretty(&build().to_json_value()).expect("serializes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn git_rev_env_override_wins() {
+        std::env::set_var("LDP_GIT_REV", "deadbeef");
+        assert_eq!(git_rev(), "deadbeef");
+        std::env::remove_var("LDP_GIT_REV");
+    }
+
+    #[test]
+    fn writes_manifest_file() {
+        let dir = std::env::temp_dir().join(format!("ldp-obs-manifest-{}", std::process::id()));
+        let path = RunManifest::new("smoke").write(&dir, "smoke").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema\": \"ldp.run-manifest/v1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

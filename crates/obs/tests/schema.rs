@@ -1,0 +1,88 @@
+//! Golden-schema tests for the run manifest: top-level key order, stage
+//! entry shape, and the stage names a `StageBreakdown` contributes. CI
+//! diffs manifests across double runs and across commits, so any change
+//! here must be a deliberate schema bump (see DESIGN.md §9).
+
+use ldp_metrics::LogHistogram;
+use ldp_obs::{RunManifest, StageBreakdown, SCHEMA};
+use serde::{Serialize, Value};
+use serde_json::json;
+
+fn object_keys(v: &Value) -> Vec<String> {
+    let Value::Object(fields) = v else {
+        panic!("expected a JSON object, got {v:?}");
+    };
+    fields.iter().map(|(k, _)| k.clone()).collect()
+}
+
+#[test]
+fn manifest_top_level_schema() {
+    let mut h = LogHistogram::new();
+    h.record_n(100, 5);
+    let m = RunManifest::new("golden")
+        .seed(1)
+        .scale(0.5)
+        .retry_policy(json!({"timeout_ms": 250}))
+        .chaos_policy(json!({"drop_responses": 0.2}))
+        .stage("rtt", &h)
+        .faults(json!({"timeouts": 0}))
+        .throughput(vec![100.0, 101.0])
+        .extra("note", json!("x"));
+    let v = m.to_json_value();
+    assert_eq!(
+        object_keys(&v),
+        [
+            "schema",
+            "name",
+            "git_rev",
+            "seed",
+            "scale",
+            "obs_sample",
+            "retry",
+            "chaos",
+            "stages",
+            "faults",
+            "throughput_qps",
+            "extra",
+        ]
+    );
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+}
+
+#[test]
+fn stage_entry_schema() {
+    let mut h = LogHistogram::new();
+    h.record(2_500);
+    let m = RunManifest::new("golden").stage("rtt", &h);
+    let v = m.to_json_value();
+    let stages = v.get("stages").expect("stages present");
+    assert_eq!(object_keys(stages), ["rtt"]);
+    let entry = stages.get("rtt").expect("stage entry");
+    assert_eq!(object_keys(entry), ["unit", "histogram", "summary_ms"]);
+    assert_eq!(entry.get("unit").and_then(Value::as_str), Some("us"));
+    // The embedded histogram uses the pinned LogHistogram schema.
+    let hist = entry.get("histogram").expect("histogram");
+    assert_eq!(
+        hist.get("scheme").and_then(Value::as_str),
+        Some("log2-32"),
+        "stage histograms embed the standard LogHistogram serialization"
+    );
+}
+
+#[test]
+fn stage_breakdown_contributes_fixed_stage_names() {
+    let b = StageBreakdown::default();
+    let m = RunManifest::new("golden").stage_breakdown(&b);
+    let v = m.to_json_value();
+    assert_eq!(
+        object_keys(v.get("stages").expect("stages")),
+        ["batch_wait", "queue_wait", "send_lag", "rtt", "end_to_end"]
+    );
+    // And the span counters ride along in `extra`.
+    let extra = v.get("extra").expect("extra");
+    assert_eq!(object_keys(extra), ["span_counts"]);
+    assert_eq!(
+        object_keys(extra.get("span_counts").expect("span_counts")),
+        ["queries", "answered", "gave_up", "retries"]
+    );
+}

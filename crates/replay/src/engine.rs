@@ -41,6 +41,7 @@ use tokio::sync::mpsc;
 use tokio::task::JoinHandle;
 
 use ldp_metrics::ShardStats;
+use ldp_obs::{ReplaySpans, Stage};
 use ldp_trace::{Protocol, TraceRecord};
 
 use crate::plan::{Batcher, ReplayPlan};
@@ -155,6 +156,37 @@ impl ReplayReport {
             .map(|us| us as f64 / 1000.0)
             .collect()
     }
+
+    /// Answered-query latencies folded into a log-bucketed histogram
+    /// (µs ticks) — the fixed-memory form run manifests carry.
+    pub fn latency_hist(&self) -> ldp_metrics::LogHistogram {
+        let mut h = ldp_metrics::LogHistogram::new();
+        for us in self.outcomes.iter().filter_map(|o| o.latency_us) {
+            h.record(us);
+        }
+        h
+    }
+}
+
+/// JSON form of a report: the aggregate counters and per-shard stats,
+/// *without* the per-query outcome vector (potentially millions of
+/// entries — figure binaries derive what they need and drop it). Field
+/// names are schema: golden tests pin them, `results/BENCH_*.json`
+/// comparisons depend on them.
+impl serde::Serialize for ReplayReport {
+    fn to_json_value(&self) -> serde::Value {
+        serde_json::json!({
+            "send_duration_us": self.send_duration_us,
+            "sent": self.sent,
+            "answered": self.answered,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "gave_up": self.gave_up,
+            "errors": self.errors,
+            "shards": self.shards,
+        })
+    }
 }
 
 /// What each querier task resolves to: its outcomes plus shard counters.
@@ -190,6 +222,14 @@ pub struct LiveReplay {
     /// outside (the §4.3 experiment reads it every two seconds) without
     /// waiting for the final report.
     pub progress: Option<Arc<AtomicU64>>,
+    /// Optional span sink ([`ReplaySpans`]): when set, every pipeline
+    /// stage a (sampled) query passes through — read, batched, scheduled,
+    /// sent, retry, answered, gave-up — is recorded with a microsecond
+    /// timestamp on the shared replay epoch, so outcomes decompose into
+    /// batch-wait, queue-wait, send-lag, and wire+server time. `None`
+    /// (the default) costs one branch per stage. Typically populated via
+    /// [`ReplaySpans::from_env`] (`LDP_OBS_SAMPLE`).
+    pub obs: Option<Arc<ReplaySpans>>,
 }
 
 impl LiveReplay {
@@ -206,6 +246,7 @@ impl LiveReplay {
             drain: Duration::from_millis(300),
             retry: RetryPolicy::default(),
             progress: None,
+            obs: None,
         }
     }
 
@@ -283,12 +324,26 @@ impl LiveReplay {
         // batch, push with backpressure (a full querier queue parks the
         // reader — the pre-load bound). Returns the postman-side shard
         // counters: stalls and queue-depth observations.
+        let spans = self.obs.clone();
         let postman = tokio::task::spawn_blocking(move || {
             let mut pstats: Vec<ShardStats> = (0..n_queriers).map(ShardStats::new).collect();
             let mut batcher: Batcher<TraceRecord> = Batcher::new(plan, batch_size, horizon_us);
             let mut flushes: Vec<(usize, Vec<TraceRecord>)> = Vec::new();
+            // Per-shard record ordinals: `read_seq[q]` counts records
+            // routed to shard q (the Read stamp), `batched_seq[q]` counts
+            // records flushed toward it (the Batched stamp). Channels are
+            // FIFO and batches preserve input order, so these ordinals
+            // are exactly the querier's latency-slot indices.
+            let mut read_seq = vec![0u64; n_queriers];
+            let mut batched_seq = vec![0u64; n_queriers];
 
-            let deliver = |q: usize, batch: Vec<TraceRecord>, pstats: &mut Vec<ShardStats>| {
+            let mut deliver = |q: usize, batch: Vec<TraceRecord>, pstats: &mut Vec<ShardStats>| {
+                if let Some(spans) = &spans {
+                    let t_us = epoch.elapsed().as_micros() as u64;
+                    let from = batched_seq[q];
+                    spans.record_range(q, from..from + batch.len() as u64, Stage::Batched, t_us);
+                }
+                batched_seq[q] += batch.len() as u64;
                 let observed = depths[q].load(Ordering::Relaxed);
                 let observed = u32::try_from(observed).unwrap_or(u32::MAX);
                 pstats[q].depths.push(observed);
@@ -306,14 +361,23 @@ impl LiveReplay {
                     }
                 }
             };
+            let read = |q: usize, read_seq: &mut Vec<u64>| {
+                if let Some(spans) = &spans {
+                    let t_us = epoch.elapsed().as_micros() as u64;
+                    spans.record(q, read_seq[q], Stage::Read, t_us);
+                }
+                read_seq[q] += 1;
+            };
 
-            batcher.push(first.src, first.time_us, first, &mut flushes);
+            let q = batcher.push(first.src, first.time_us, first, &mut flushes);
+            read(q, &mut read_seq);
             for (q, batch) in flushes.drain(..) {
                 deliver(q, batch, &mut pstats);
             }
             for rec in records {
                 let Ok(rec) = rec else { break };
-                batcher.push(rec.src, rec.time_us, rec, &mut flushes);
+                let q = batcher.push(rec.src, rec.time_us, rec, &mut flushes);
+                read(q, &mut read_seq);
                 for (q, batch) in flushes.drain(..) {
                     deliver(q, batch, &mut pstats);
                 }
@@ -345,6 +409,11 @@ impl LiveReplay {
             drain: self.drain,
             retry: self.retry.clone(),
             progress: self.progress.clone(),
+            obs: self.obs.as_ref().map(|spans| ObsCtx {
+                spans: spans.clone(),
+                shard,
+                epoch,
+            }),
         }
     }
 
@@ -493,6 +562,12 @@ impl PendingTable {
     /// re-schedules not-yet-due entries, retires exhausted queries
     /// (`gave_up`), and collects UDP retransmits into `resend` for the
     /// sweeper to put on the wire after releasing the lock.
+    /// Span note: `Retry`/`GaveUp` events are recorded here, under the
+    /// pending lock, rather than in the sweeper's async send path — sync
+    /// code can't be interrupted by task abort, so the events can never
+    /// be lost between the counter bump and the stamp. A `Retry` event
+    /// marks the decision to retransmit; the datagram itself goes out
+    /// (and `retries` is counted) after the lock is released.
     fn sweep(
         &mut self,
         now: Instant,
@@ -500,6 +575,7 @@ impl PendingTable {
         counters: &FaultCounters,
         due: &mut Vec<(u16, u32)>,
         resend: &mut Vec<(u32, Box<[u8]>)>,
+        obs: Option<&ObsCtx>,
     ) {
         due.clear();
         self.wheel.due(now, due);
@@ -544,13 +620,20 @@ impl PendingTable {
                             if let (SockRef::Udp(s), Some(w)) = (f.sock, f.wire.as_ref()) {
                                 resend.push((s, w.clone()));
                             }
+                            if let Some(o) = obs {
+                                o.record_instant(f.slot, Stage::Retry, now);
+                            }
                             let a = f.attempt;
                             self.wheel.schedule(id, a, d);
                         }
                     } else {
                         // Out of attempts (or TCP): the server never
                         // answered this query.
-                        self.remove(id);
+                        if let Some(f) = self.remove(id) {
+                            if let Some(o) = obs {
+                                o.record_instant(f.slot, Stage::GaveUp, now);
+                            }
+                        }
                         counters.gave_up.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -566,6 +649,36 @@ type Latencies = Arc<Mutex<Vec<Option<u64>>>>;
 /// Sweeper-visible registry of the querier's UDP sockets (indexed by
 /// [`SockRef::Udp`]); grows only when a socket is created.
 type SocketRegistry = Arc<Mutex<Vec<Arc<UdpSocket>>>>;
+
+/// One querier's handle on the replay's span sink: the shard index and
+/// the shared epoch are bound once so the hot paths record a stage with
+/// a single call. A query's span key is its latency-slot index, which
+/// equals its per-shard record ordinal — the same number the Postman
+/// counts on the read side, so both halves of the pipeline stamp the
+/// same span without any id exchange.
+#[derive(Clone)]
+struct ObsCtx {
+    spans: Arc<ReplaySpans>,
+    shard: usize,
+    epoch: Instant,
+}
+
+impl ObsCtx {
+    /// Records `stage` at an offset already measured on the epoch clock.
+    fn record_at(&self, seq: usize, stage: Stage, t_us: u64) {
+        self.spans.record(self.shard, seq as u64, stage, t_us);
+    }
+
+    /// Records `stage` at a captured instant (receive paths take one
+    /// timestamp per batch and reuse it).
+    fn record_instant(&self, seq: usize, stage: Stage, now: Instant) {
+        self.record_at(
+            seq,
+            stage,
+            now.saturating_duration_since(self.epoch).as_micros() as u64,
+        );
+    }
+}
 
 /// Per-send record: which latency slot the response will land in, plus
 /// the timing fields the final [`ReplayOutcome`] reports.
@@ -590,6 +703,7 @@ struct QuerierTask {
     drain: Duration,
     retry: RetryPolicy,
     progress: Option<Arc<AtomicU64>>,
+    obs: Option<ObsCtx>,
 }
 
 /// Socket/connection state one querier owns, factored out so the batch
@@ -612,6 +726,8 @@ struct QuerierState {
     policy: RetryPolicy,
     counters: Arc<FaultCounters>,
     next_id: u16,
+    /// Span handle cloned into every receive task this querier spawns.
+    obs: Option<ObsCtx>,
 }
 
 impl QuerierState {
@@ -630,6 +746,7 @@ impl QuerierState {
                 socket.clone(),
                 self.pending.clone(),
                 self.latencies.clone(),
+                self.obs.clone(),
             )));
             self.registry.lock().push(socket.clone());
             self.udp.push(socket);
@@ -660,7 +777,14 @@ impl QuerierState {
                     .delay(attempt - 1, hash_ip(src) as u64);
                 tokio::time::sleep(pause).await;
             }
-            match TcpConn::open(self.server, self.latencies.clone(), self.pending.clone()).await {
+            match TcpConn::open(
+                self.server,
+                self.latencies.clone(),
+                self.pending.clone(),
+                self.obs.clone(),
+            )
+            .await
+            {
                 Ok(c) => {
                     if prev_died == Some(true) {
                         self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -708,6 +832,7 @@ fn spawn_sweeper(
     policy: RetryPolicy,
     counters: Arc<FaultCounters>,
     stop: Arc<AtomicBool>,
+    obs: Option<ObsCtx>,
 ) -> JoinHandle<()> {
     tokio::spawn(async move {
         let mut due: Vec<(u16, u32)> = Vec::new();
@@ -717,7 +842,14 @@ fn spawn_sweeper(
             resend.clear();
             {
                 let mut p = pending.lock();
-                p.sweep(Instant::now(), &policy, &counters, &mut due, &mut resend);
+                p.sweep(
+                    Instant::now(),
+                    &policy,
+                    &counters,
+                    &mut due,
+                    &mut resend,
+                    obs.as_ref(),
+                );
             }
             if resend.is_empty() {
                 continue;
@@ -758,6 +890,7 @@ impl QuerierTask {
             policy: self.retry.clone(),
             counters: Arc::new(FaultCounters::default()),
             next_id: 0,
+            obs: self.obs.clone(),
         };
         let stop = Arc::new(AtomicBool::new(false));
         let sweeper = self.retry.is_enabled().then(|| {
@@ -768,6 +901,7 @@ impl QuerierTask {
                 self.retry.clone(),
                 state.counters.clone(),
                 stop.clone(),
+                self.obs.clone(),
             )
         });
         let mut meta: Vec<Meta> = Vec::new();
@@ -869,6 +1003,9 @@ impl QuerierTask {
     ) {
         for (k, rec) in batch.iter_mut().enumerate() {
             let now_us = self.epoch.elapsed().as_micros() as u64;
+            if let Some(o) = &self.obs {
+                o.record_at(base + k, Stage::Scheduled, now_us);
+            }
             // Invariant: the plan feeds each querier records in trace
             // order, so real-clock deadlines are monotone — a regression
             // here would silently reorder the replayed stream.
@@ -955,6 +1092,11 @@ impl QuerierTask {
                 }
             }
             let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
+            if error.is_none() {
+                if let Some(o) = &self.obs {
+                    o.record_at(base + k, Stage::Sent, sent_offset_us);
+                }
+            }
             let target_offset_us = deadline;
             if error.is_none() && sent_offset_us > target_offset_us + LATE_BUDGET_US {
                 stats.late += 1;
@@ -1017,6 +1159,15 @@ impl QuerierTask {
             let mut j = i + 1;
             while j < batch.len() && batch[j].src == src && batch[j].protocol == protocol {
                 j += 1;
+            }
+            if let Some(o) = &self.obs {
+                // One dequeue stamp for the whole run: fast mode blasts
+                // the run as a unit, so per-record scheduling is the run
+                // boundary.
+                let t_us = self.epoch.elapsed().as_micros() as u64;
+                for k in i..j {
+                    o.record_at(base + k, Stage::Scheduled, t_us);
+                }
             }
             match protocol {
                 Protocol::Udp => {
@@ -1089,6 +1240,11 @@ impl QuerierTask {
                     let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
                     for (x, &k) in queued.iter().enumerate() {
                         let rec = &batch[k];
+                        if errs[x].is_none() {
+                            if let Some(o) = &self.obs {
+                                o.record_at(base + k, Stage::Sent, sent_offset_us);
+                            }
+                        }
                         meta.push(Meta {
                             slot: base + k,
                             trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
@@ -1178,6 +1334,9 @@ impl QuerierTask {
                     let sent_offset_us = self.epoch.elapsed().as_micros() as u64;
                     for k in queued {
                         let rec = &batch[k];
+                        if let Some(o) = &self.obs {
+                            o.record_at(base + k, Stage::Sent, sent_offset_us);
+                        }
                         meta.push(Meta {
                             slot: base + k,
                             trace_offset_us: rec.time_us.saturating_sub(self.trace_epoch_us),
@@ -1211,7 +1370,12 @@ fn hash_ip(ip: IpAddr) -> usize {
 const RECV_BATCH: usize = 32;
 const RECV_BUF: usize = 2_048;
 
-async fn recv_udp(socket: Arc<UdpSocket>, pending: Pending, latencies: Latencies) {
+async fn recv_udp(
+    socket: Arc<UdpSocket>,
+    pending: Pending,
+    latencies: Latencies,
+    obs: Option<ObsCtx>,
+) {
     let mut bufs: Vec<Vec<u8>> = (0..RECV_BATCH).map(|_| vec![0u8; RECV_BUF]).collect();
     loop {
         let Ok(received) = socket.recv_many(&mut bufs).await else {
@@ -1232,6 +1396,11 @@ async fn recv_udp(socket: Arc<UdpSocket>, pending: Pending, latencies: Latencies
                 let latency = now.saturating_duration_since(f.sent_at).as_micros() as u64;
                 if let Some(slot) = l.get_mut(f.slot) {
                     *slot = Some(latency);
+                }
+                // Stamped while both locks are held, so an abort at drain
+                // can't split a recorded latency from its Answered event.
+                if let Some(o) = &obs {
+                    o.record_instant(f.slot, Stage::Answered, now);
                 }
             }
         }
@@ -1254,6 +1423,7 @@ impl TcpConn {
         server: SocketAddr,
         latencies: Latencies,
         pending: Pending,
+        obs: Option<ObsCtx>,
     ) -> std::io::Result<TcpConn> {
         let stream = tokio::net::TcpStream::connect(server).await?;
         stream.set_nodelay(true)?;
@@ -1279,10 +1449,14 @@ impl TcpConn {
                 }
                 let id = u16::from_be_bytes([msg[0], msg[1]]);
                 if let Some(f) = pending_r.lock().remove(id) {
-                    let latency = f.sent_at.elapsed().as_micros() as u64;
+                    let now = Instant::now();
+                    let latency = now.saturating_duration_since(f.sent_at).as_micros() as u64;
                     let mut l = latencies.lock();
                     if let Some(slot) = l.get_mut(f.slot) {
                         *slot = Some(latency);
+                    }
+                    if let Some(o) = &obs {
+                        o.record_instant(f.slot, Stage::Answered, now);
                     }
                 }
             }

@@ -149,8 +149,16 @@ impl<T> Batcher<T> {
 
     /// Routes one record and appends every flush it triggers (the target
     /// querier's now-full batch, plus any batch gone ripe at `time_us`)
-    /// to `out` as `(querier index, batch)` pairs.
-    pub fn push(&mut self, source: IpAddr, time_us: u64, item: T, out: &mut Vec<(usize, Vec<T>)>) {
+    /// to `out` as `(querier index, batch)` pairs. Returns the querier
+    /// index the record was routed to, so callers can attribute the
+    /// record (span tracking, per-shard accounting) without re-routing.
+    pub fn push(
+        &mut self,
+        source: IpAddr,
+        time_us: u64,
+        item: T,
+        out: &mut Vec<(usize, Vec<T>)>,
+    ) -> usize {
         let (_, _, idx) = self.plan.route(source);
         if self.buffers[idx].is_empty() {
             self.first_time_us[idx] = Some(time_us);
@@ -168,6 +176,7 @@ impl<T> Batcher<T> {
                 }
             }
         }
+        idx
     }
 
     /// Returns a cleared spine to the pool for reuse.

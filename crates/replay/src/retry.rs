@@ -85,6 +85,18 @@ impl RetryPolicy {
     }
 }
 
+impl serde::Serialize for RetryPolicy {
+    fn to_json_value(&self) -> serde::Value {
+        serde_json::json!({
+            "timeout_ms": self.timeout.as_millis() as u64,
+            "max_udp_retries": self.max_udp_retries,
+            "backoff_base_ms": self.backoff.base.as_millis() as u64,
+            "backoff_cap_ms": self.backoff.cap.as_millis() as u64,
+            "tcp_reconnect_attempts": self.tcp_reconnect_attempts,
+        })
+    }
+}
+
 /// Fault counters shared between a querier's send path, receive tasks,
 /// and timeout sweeper; folded into [`ShardStats`] when the querier ends.
 #[derive(Debug, Default)]

@@ -50,6 +50,12 @@ impl SimOutcome {
         self.answered_at
             .map(|a| (a - self.sent_at).as_secs_f64() * 1000.0)
     }
+
+    /// Query latency in whole microseconds, if answered — the integer
+    /// tick the latency histograms bucket by.
+    pub fn latency_us(&self) -> Option<u64> {
+        self.answered_at.map(|a| (a - self.sent_at).as_micros())
+    }
 }
 
 /// Per-original-source QUIC session state.
@@ -557,6 +563,25 @@ pub fn non_busy_latencies_ms(outcomes: &[SimOutcome], max_queries: u64) -> Vec<f
         .filter(|o| counts[&o.src] < max_queries)
         .filter_map(|o| o.latency_ms())
         .collect()
+}
+
+/// Fixed-memory histogram (µs) of the same non-busy cut — the form the
+/// Figure 15b quantiles are read from, so arbitrarily large traces don't
+/// need their raw latency vectors held and sorted.
+pub fn non_busy_latency_hist(
+    outcomes: &[SimOutcome],
+    max_queries: u64,
+) -> ldp_metrics::LogHistogram {
+    let counts = per_client_counts(outcomes);
+    let mut hist = ldp_metrics::LogHistogram::new();
+    for o in outcomes {
+        if counts[&o.src] < max_queries {
+            if let Some(us) = o.latency_us() {
+                hist.record(us);
+            }
+        }
+    }
+    hist
 }
 
 #[cfg(test)]

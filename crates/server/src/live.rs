@@ -16,7 +16,9 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, UdpSocket};
 use tokio::task::JoinHandle;
 
+use ldp_metrics::LogHistogram;
 use ldp_wire::Message;
+use parking_lot::Mutex;
 
 use crate::auth::AuthEngine;
 use crate::chaos::{ChaosPolicy, ResponseFate};
@@ -33,6 +35,24 @@ pub struct LiveStats {
     /// Response sends the kernel refused (buffer pressure or a vanished
     /// peer); counted, never silently swallowed.
     pub send_failures: AtomicU64,
+    /// Server-side handle time (µs) per query: parse through response
+    /// encode, excluding the outbound send. UDP amortizes one measurement
+    /// across each `recvmmsg` batch (the lock is taken per batch, not per
+    /// query); TCP records each query individually.
+    handle_us: Mutex<LogHistogram>,
+}
+
+impl LiveStats {
+    /// Snapshot of the server-side handle-time histogram.
+    pub fn handle_hist(&self) -> LogHistogram {
+        self.handle_us.lock().clone()
+    }
+
+    fn record_handle(&self, elapsed_us: u64, queries: u64) {
+        if let Some(per_query) = elapsed_us.checked_div(queries) {
+            self.handle_us.lock().record_n(per_query, queries);
+        }
+    }
 }
 
 /// A running live server; aborts its tasks on drop.
@@ -161,6 +181,8 @@ async fn serve_udp(
         let Ok(received) = socket.recv_many(&mut bufs).await else {
             continue;
         };
+        let handle_start = Instant::now();
+        let queries_before = stats.udp_queries.load(Ordering::Relaxed);
         replies.clear();
         for (i, &(len, peer)) in received.iter().enumerate() {
             let buf = &mut bufs[i];
@@ -197,6 +219,8 @@ async fn serve_udp(
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
             }
         }
+        let handled = stats.udp_queries.load(Ordering::Relaxed) - queries_before;
+        stats.record_handle(handle_start.elapsed().as_micros() as u64, handled);
         let msgs: Vec<(&[u8], SocketAddr)> =
             replies.iter().map(|(b, p)| (b.as_slice(), *p)).collect();
         let sent = socket.send_many_to_each(&msgs).await.unwrap_or(0);
@@ -253,6 +277,7 @@ async fn serve_tcp_conn(
         let len = u16::from_be_bytes(lenbuf) as usize;
         let mut msg = vec![0u8; len];
         stream.read_exact(&mut msg).await?;
+        let handle_start = Instant::now();
         let Ok(query) = Message::from_bytes(&msg) else {
             stats.malformed.fetch_add(1, Ordering::Relaxed);
             continue;
@@ -265,6 +290,7 @@ async fn serve_tcp_conn(
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let framed = ldp_wire::framing::frame_message(&bytes)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "oversized response"))?;
+        stats.record_handle(handle_start.elapsed().as_micros() as u64, 1);
         stream.write_all(&framed).await?;
         served += 1;
         // Injected mid-conversation reset: close after serving the
@@ -321,6 +347,8 @@ mod tests {
         assert_eq!(resp.header.id, 42);
         assert_eq!(resp.answers.len(), 1);
         assert_eq!(server.stats.udp_queries.load(Ordering::Relaxed), 1);
+        let hist = server.stats.handle_hist();
+        assert_eq!(hist.count(), 1, "one handle-time sample per UDP query");
     }
 
     #[tokio::test]
@@ -346,6 +374,11 @@ mod tests {
             server.stats.tcp_connections.load(Ordering::Relaxed),
             1,
             "one connection reused for all three queries"
+        );
+        assert_eq!(
+            server.stats.handle_hist().count(),
+            3,
+            "one handle-time sample per TCP query"
         );
     }
 

@@ -18,11 +18,24 @@ cargo test --workspace -q
 echo "==> chaos smoke (lossy replay must recover via retries)"
 cargo run -q --release -p ldp-bench --bin chaos_smoke
 
-echo "==> bench smoke (fig09 on a tiny trace)"
-LDP_SCALE=0.05 LDP_RESULTS=results cargo run -q --release -p ldp-bench --bin fig09_throughput
-test -s results/BENCH_fig09.json || {
-    echo "bench smoke failed: results/BENCH_fig09.json missing or empty" >&2
+echo "==> bench smoke (fig09 on a tiny trace) + throughput gate"
+# The smoke run writes to a scratch dir so it never clobbers the committed
+# baseline; bench_gate then compares the fresh record against it. Records
+# taken at different LDP_SCALE are incomparable and the gate skips itself,
+# so run with LDP_SCALE=0.3 to exercise the real regression check.
+SMOKE_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_RESULTS"' EXIT
+LDP_SCALE="${LDP_SCALE:-0.05}" LDP_RESULTS="$SMOKE_RESULTS" \
+    cargo run -q --release -p ldp-bench --bin fig09_throughput
+test -s "$SMOKE_RESULTS/BENCH_fig09.json" || {
+    echo "bench smoke failed: BENCH_fig09.json missing or empty" >&2
     exit 1
 }
+test -s "$SMOKE_RESULTS/fig09_throughput.manifest.json" || {
+    echo "bench smoke failed: fig09 run manifest missing or empty" >&2
+    exit 1
+}
+cargo run -q --release -p ldp-bench --bin bench_gate -- \
+    results/BENCH_fig09.json "$SMOKE_RESULTS/BENCH_fig09.json"
 
 echo "All checks passed."

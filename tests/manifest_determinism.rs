@@ -1,0 +1,63 @@
+//! Manifest determinism, end to end: a fixed-seed simulated replay must
+//! produce a byte-identical run manifest every time it is built, and the
+//! artifact is written to `target/test-manifests/` so CI can double-run
+//! the suite and diff the two copies to catch nondeterminism that unit
+//! tests miss (iteration-order leaks, uninitialized stats, wall-clock
+//! contamination).
+//!
+//! Manifests here must stay timestamp-free: no throughput series, no
+//! wall-clock extras (see `ldp_obs::RunManifest` docs).
+
+use ldp_obs::RunManifest;
+use ldplayer::workload::BRootConfig;
+use ldplayer::SimExperiment;
+use serde::Serialize;
+
+/// Seed for the simulated run; `LDP_SEED` overrides so CI can pin it
+/// explicitly across double runs.
+fn seed() -> u64 {
+    std::env::var("LDP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn build_manifest() -> RunManifest {
+    let cfg = BRootConfig {
+        duration_s: 4.0,
+        mean_rate_qps: 500.0,
+        clients: 400,
+        seed: seed(),
+        ..BRootConfig::default()
+    };
+    let result = SimExperiment::root_server(cfg.generate())
+        .rtt_ms(15)
+        .grace_s(2)
+        .run();
+    assert!(
+        result.latency_hist.count() > 0,
+        "sim run must answer queries"
+    );
+    RunManifest::new("sim_determinism")
+        .seed(seed())
+        .scale(1.0)
+        .stage("latency", &result.latency_hist)
+}
+
+#[test]
+fn fixed_seed_manifest_is_byte_identical() {
+    let a = serde_json::to_string_pretty(&build_manifest().to_json_value()).expect("serializes");
+    let b = serde_json::to_string_pretty(&build_manifest().to_json_value()).expect("serializes");
+    assert_eq!(
+        a, b,
+        "two identical sim runs must serialize to identical manifests"
+    );
+
+    // Leave the artifact where CI's double-run step can diff it. The
+    // write goes through RunManifest::write so the on-disk form is the
+    // same one benches emit.
+    let dir = std::path::Path::new("target/test-manifests");
+    let path = build_manifest().write(dir, "sim").expect("manifest write");
+    let on_disk = std::fs::read_to_string(&path).expect("manifest readable");
+    assert_eq!(on_disk, a, "on-disk manifest matches the in-memory form");
+}
