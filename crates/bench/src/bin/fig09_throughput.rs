@@ -3,8 +3,11 @@
 //! Replays one *continuous* stream of identical queries
 //! (`www.example.com`) over UDP with timers disabled — the paper's setup:
 //! one query generator, one distributor, six queriers on one host — and
-//! samples the live send counter every two seconds for query rate and
-//! bandwidth, exactly as the paper plots. (An earlier revision ran many
+//! samples the live telemetry registry every two seconds for query rate
+//! and bandwidth, exactly as the paper plots. (The window loop is a
+//! [`ldp_telemetry::Sampler`] consumer: the same registry that feeds
+//! `--metrics-addr` feeds the bench, and the sampled series lands in the
+//! manifest's v2 `timeseries` section.) (An earlier revision ran many
 //! back-to-back mini-replays and divided by the whole wall clock, which
 //! silently charged each window its fixed answer-drain sleep and pipeline
 //! setup — under-reporting sustained throughput by ~40%.) The paper
@@ -12,7 +15,6 @@
 //! absolute numbers here depend on the host, the shape to check is a
 //! flat, CPU-bound plateau.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -76,14 +78,17 @@ async fn main() {
         &["window", "queries", "rate_qps", "bandwidth_mbps"],
     );
 
-    // One continuous fast replay for the whole budget, sampled live.
+    // One continuous fast replay for the whole budget, sampled live via
+    // the shared telemetry registry (the same plane `--metrics-addr`
+    // serves; per-shard sent counters plus the server's handled totals).
     let budget_s = (10.0 * scale).clamp(6.0, 60.0);
     let window_s = (budget_s / 3.0).min(2.0);
-    let progress = Arc::new(AtomicU64::new(0));
+    let registry = Arc::new(ldp_telemetry::Registry::new());
+    server.register_telemetry(&registry);
     let mut replay = LiveReplay {
         mode: ReplayMode::Fast,
         drain: std::time::Duration::from_millis(50),
-        progress: Some(progress.clone()),
+        telemetry: Some(registry.clone()),
         // Raw send capacity: a blast replay intentionally overruns the
         // server, and retransmitting the overrun would measure the retry
         // ladder, not the generator.
@@ -98,6 +103,7 @@ async fn main() {
     let records = query_stream(budget);
     let runner = tokio::spawn(async move { replay.run_stream(records).await });
 
+    let mut sampler = ldp_telemetry::Sampler::new(registry, 4_096);
     let started = Instant::now();
     let mut window = 0u32;
     let mut rates = Vec::new();
@@ -106,7 +112,11 @@ async fn main() {
     while started.elapsed() < budget {
         tokio::time::sleep(Duration::from_secs_f64(window_s)).await;
         let now = Instant::now();
-        let total = progress.load(Ordering::Relaxed);
+        sampler.sample();
+        let total = sampler
+            .family_totals(ldp_telemetry::sampler::SENT_FAMILY)
+            .last()
+            .map_or(0, |&(_, v)| v);
         let secs = now.duration_since(sampled_at).as_secs_f64();
         let sent = total - sampled_total;
         let qps = sent as f64 / secs;
@@ -178,6 +188,7 @@ async fn main() {
         .scale(scale)
         .throughput(rates.clone())
         .faults(json!(totals))
+        .timeseries(sampler.to_manifest_value())
         .stage("server_handle", &server.stats.handle_hist());
     if let Some(spans) = &obs {
         let breakdown = StageBreakdown::from_events(&spans.events());

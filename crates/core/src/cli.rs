@@ -46,6 +46,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "zonegen" => cmd_zonegen(&rest, out),
         "serve" => cmd_serve(&rest, out),
         "replay" => cmd_replay(&rest, out),
+        "top" => cmd_top(&rest, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(0)
@@ -65,13 +66,20 @@ USAGE:
                     [--prefix LABEL] [--speed FACTOR] [--seed N] -o OUT
   ldplayer stats    FILE...                  # Table 1-style rows
   ldplayer zonegen  CAPTURE -o DIR           # rebuild zone master files (§2.3)
-  ldplayer serve    --zones DIR [--listen ADDR]  # live authoritative server
+  ldplayer serve    --zones DIR [--listen ADDR] [--metrics-addr ADDR]
+                                               # live authoritative server
   ldplayer replay   FILE --server ADDR [--fast] [--speed FACTOR]
                     [--queriers N] [--stream] [--manifest PATH]
+                    [--metrics-addr ADDR]
                                                # timing-faithful replay (§2.6);
                                                # --stream reads .ldps incrementally;
                                                # --manifest writes a run-manifest JSON
-                                               #   (per-stage latency breakdown)
+                                               #   (per-stage latency breakdown);
+                                               # --metrics-addr serves Prometheus
+                                               #   text metrics while running
+  ldplayer top      --metrics-addr ADDR [--interval S] [--iterations N] [--raw]
+                                               # live terminal view of a running
+                                               # replay/serve metrics endpoint
 
 Trace formats by extension: .ldpc binary capture | .ldps binary stream |
 .txt plain text | .pcap libpcap (tcpdump/wireshark)
@@ -430,13 +438,14 @@ pub fn load_zone_dir(dir: &Path) -> Result<ZoneSet, String> {
 }
 
 fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
-    let f = Flags::parse(args, &["zones", "listen"], &[])?;
+    let f = Flags::parse(args, &["zones", "listen", "metrics-addr"], &[])?;
     let dir = PathBuf::from(f.get("zones").ok_or("serve needs --zones DIR")?);
     let listen: std::net::SocketAddr = f
         .get("listen")
         .unwrap_or("127.0.0.1:5300")
         .parse()
         .map_err(|_| "--listen: bad address")?;
+    let metrics_addr = f.get("metrics-addr").map(str::to_string);
     let zones = load_zone_dir(&dir)?;
     writeln!(
         out,
@@ -447,9 +456,23 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let engine = Arc::new(AuthEngine::with_zones(Arc::new(zones)));
     let rt = tokio::runtime::Runtime::new().map_err(io_err)?;
     rt.block_on(async move {
-        let _server = ldp_server::live::LiveServer::spawn(engine, listen)
+        let server = ldp_server::live::LiveServer::spawn(engine, listen)
             .await
             .map_err(|e| format!("bind {listen}: {e}"))?;
+        // The metrics endpoint lives on its own thread; the registry only
+        // holds observed closures over the server's atomics, so serving a
+        // scrape never touches the query path.
+        let _metrics = match &metrics_addr {
+            Some(addr) => {
+                let registry = Arc::new(ldp_telemetry::Registry::new());
+                server.register_telemetry(&registry);
+                let srv = ldp_telemetry::MetricsServer::start(addr, registry)
+                    .map_err(|e| format!("metrics bind {addr}: {e}"))?;
+                writeln!(out, "metrics on http://{}/metrics", srv.addr()).map_err(io_err)?;
+                Some(srv)
+            }
+            None => None,
+        };
         tokio::signal::ctrl_c().await.map_err(|e| e.to_string())?;
         Ok::<(), String>(())
     })?;
@@ -459,7 +482,7 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
 fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let f = Flags::parse(
         args,
-        &["server", "speed", "queriers", "manifest"],
+        &["server", "speed", "queriers", "manifest", "metrics-addr"],
         &["fast", "stream"],
     )?;
     let input = f.positional.first().ok_or("replay needs a trace file")?;
@@ -487,6 +510,25 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         ldp_obs::ReplaySpans::from_env(shards)
     };
     replay.obs = spans.clone();
+    // `--metrics-addr` turns on the live telemetry plane: shard counters
+    // into a shared registry, a 1 s sampler building the time-series the
+    // manifest will carry, and the Prometheus endpoint `ldplayer top`
+    // scrapes. All off the hot path: handles are resolved at shard start,
+    // sampling and serving run on their own threads.
+    let telemetry = match f.get("metrics-addr") {
+        Some(addr) => {
+            let registry = Arc::new(ldp_telemetry::Registry::new());
+            replay.telemetry = Some(registry.clone());
+            let server = ldp_telemetry::MetricsServer::start(addr, registry.clone())
+                .map_err(|e| format!("metrics bind {addr}: {e}"))?;
+            writeln!(out, "metrics on http://{}/metrics", server.addr()).map_err(io_err)?;
+            let sampler = ldp_telemetry::Sampler::new(registry, 4_096);
+            let driver =
+                ldp_telemetry::SamplerDriver::spawn(sampler, std::time::Duration::from_secs(1));
+            Some((server, driver))
+        }
+        None => None,
+    };
     let rt = tokio::runtime::Runtime::new().map_err(io_err)?;
     let report = if f.has("stream") {
         // Incremental read: only .ldps supports streaming decode.
@@ -503,6 +545,14 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         rt.block_on(replay.run(records))
             .map_err(|e| format!("replay: {e}"))?
     };
+    // Stop the telemetry plane; one final sample so runs shorter than the
+    // cadence still land points in the manifest's timeseries section.
+    let sampler = telemetry.map(|(server, driver)| {
+        drop(server);
+        let mut sampler = driver.stop();
+        sampler.sample();
+        sampler
+    });
     writeln!(
         out,
         "sent {} queries, {} answered ({:.1}%), {:.0} q/s",
@@ -531,7 +581,7 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     if let Some(path) = manifest_path {
         let spans = spans.expect("--manifest forces span recording");
         let breakdown = ldp_obs::StageBreakdown::from_events(&spans.events());
-        let manifest = ldp_obs::RunManifest::new("cli_replay")
+        let mut manifest = ldp_obs::RunManifest::new("cli_replay")
             .retry_policy(serde_json::json!(replay.retry))
             .stage_breakdown(&breakdown)
             .stage("end_to_end", &report.latency_hist())
@@ -543,6 +593,9 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 "errors": report.errors,
             }))
             .extra("report", serde_json::json!(report));
+        if let Some(s) = &sampler {
+            manifest = manifest.timeseries(s.to_manifest_value());
+        }
         let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
         let stem = path
             .file_stem()
@@ -553,6 +606,33 @@ fn cmd_replay(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
             .map_err(|e| format!("write manifest: {e}"))?;
         writeln!(out, "manifest: {}", written.display()).map_err(io_err)?;
     }
+    Ok(0)
+}
+
+fn cmd_top(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let f = Flags::parse(args, &["metrics-addr", "interval", "iterations"], &["raw"])?;
+    let addr = f
+        .get("metrics-addr")
+        .ok_or("top needs --metrics-addr ADDR (the replay/serve endpoint)")?
+        .to_string();
+    let interval_s: f64 = f.get_parse("interval", 2.0)?;
+    if !interval_s.is_finite() || interval_s <= 0.0 {
+        return Err("--interval must be positive".into());
+    }
+    let iterations = match f.get("iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--iterations: cannot parse {v:?}"))?,
+        ),
+    };
+    let opts = ldp_telemetry::TopOptions {
+        addr,
+        interval: std::time::Duration::from_secs_f64(interval_s),
+        iterations,
+        raw: f.has("raw"),
+    };
+    ldp_telemetry::run_top(&opts, out).map_err(|e| format!("top: {e}"))?;
     Ok(0)
 }
 
@@ -751,23 +831,63 @@ mod tests {
             "--fast",
             "--manifest",
             manifest_arg.to_str().unwrap(),
+            "--metrics-addr",
+            "127.0.0.1:0",
         ]);
         assert!(msg.contains("sent 200 queries"), "{msg}");
         assert!(msg.contains("latency"), "{msg}");
+        assert!(msg.contains("metrics on http://127.0.0.1:"), "{msg}");
 
         // --manifest wrote the run manifest next to the requested path.
         let manifest_file = dir.join("run.manifest.json");
         assert!(msg.contains("manifest:"), "{msg}");
         let body = std::fs::read_to_string(&manifest_file).unwrap();
         assert!(
-            body.contains("\"schema\": \"ldp.run-manifest/v1\""),
+            body.contains("\"schema\": \"ldp.run-manifest/v2\""),
             "{body}"
         );
         for stage in ["queue_wait", "batch_wait", "send_lag", "end_to_end"] {
             assert!(body.contains(&format!("\"{stage}\"")), "missing {stage}");
         }
         assert!(body.contains("\"retry\""), "{body}");
+        // --metrics-addr attached the sampled time-series (manifest v2).
+        assert!(body.contains("\"timeseries\""), "{body}");
+        assert!(body.contains("\"unit\": \"ticks\""), "{body}");
+        assert!(body.contains("ldp_replay_sent_total"), "{body}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn top_scrapes_a_metrics_endpoint() {
+        // A registry with replay-shaped metrics behind a real endpoint;
+        // `top` runs one frame in each mode and exits.
+        let registry = Arc::new(ldp_telemetry::Registry::new());
+        registry
+            .counter_with("ldp_replay_sent_total", "sent", &[("shard", "0")])
+            .add(120);
+        registry
+            .gauge_with("ldp_replay_queue_depth", "depth", &[("shard", "0")])
+            .set(3);
+        let server = ldp_telemetry::MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr().to_string();
+
+        let raw = run_ok(&["top", "--metrics-addr", &addr, "--iterations", "1", "--raw"]);
+        assert!(
+            raw.contains("ldp_replay_sent_total{shard=\"0\"} 120"),
+            "{raw}"
+        );
+
+        let table = run_ok(&["top", "--metrics-addr", &addr, "--iterations", "1"]);
+        assert!(table.contains("shard"), "{table}");
+        assert!(table.contains("total sent 120"), "{table}");
+
+        let mut out = Vec::new();
+        let err = run(
+            &["top".into(), "--metrics-addr".into(), "127.0.0.1:1".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("top:"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,9 @@ const HOT_PATH_FILES: &[&str] = &[
     // a panic or allocation spike here would distort the very latencies
     // it exists to measure.
     "crates/obs/src/span.rs",
+    // Telemetry counter/gauge handles are bumped on every send/receive;
+    // the registry's hot-path methods must stay panic-free and lock-free.
+    "crates/telemetry/src/registry.rs",
 ];
 
 /// Crates whose parser entry points R4 audits.
@@ -202,6 +205,10 @@ mod tests {
         assert!(s.hot_path, "span stamping rides the engine hot path");
         let s = workspace_scope(Path::new("crates/obs/src/manifest.rs"));
         assert!(!s.hot_path, "manifest emission is post-run, not hot");
+        let s = workspace_scope(Path::new("crates/telemetry/src/registry.rs"));
+        assert!(s.hot_path, "counter handles are bumped per send/receive");
+        let s = workspace_scope(Path::new("crates/telemetry/src/http.rs"));
+        assert!(!s.hot_path, "scrape serving is off the send path");
         let s = workspace_scope(Path::new("crates/metrics/src/report.rs"));
         assert!(!s.hot_path && !s.wire && s.async_blocking);
         // The trace on-disk writers are wire scope without being hot path.

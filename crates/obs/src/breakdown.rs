@@ -41,9 +41,11 @@ impl QuerySpan {
         Some(self.batched_us?.saturating_sub(self.read_us?))
     }
 
-    /// Pacing delay: dequeue → first datagram on the wire. In timed mode
-    /// this is dominated by the schedule (waiting for the trace's send
-    /// time), not by overhead.
+    /// Pacing delay: dequeue → send initiation (the `Sent` stamp is
+    /// taken just before the datagram is handed to the kernel, so it is
+    /// causally ordered before the answer). In timed mode this is
+    /// dominated by the schedule (waiting for the trace's send time),
+    /// not by overhead.
     pub fn send_lag_us(&self) -> Option<u64> {
         Some(self.sent_us?.saturating_sub(self.scheduled_us?))
     }

@@ -20,12 +20,14 @@ use serde_json::json;
 use crate::breakdown::StageBreakdown;
 
 /// Manifest schema identifier; bump only with a migration note in
-/// DESIGN.md §9.
-pub const SCHEMA: &str = "ldp.run-manifest/v1";
+/// DESIGN.md §9. v2 added the `timeseries` section (sampled metric
+/// rings, tick-indexed so manifests stay byte-deterministic).
+pub const SCHEMA: &str = "ldp.run-manifest/v2";
 
 /// A run manifest under construction. Field order in the emitted JSON is
 /// fixed (schema, name, git_rev, seed, scale, obs_sample, retry, chaos,
-/// stages, faults, throughput_qps, extra) — golden tests pin it.
+/// stages, faults, throughput_qps, timeseries, extra) — golden tests pin
+/// it.
 #[derive(Debug, Clone)]
 pub struct RunManifest {
     pub name: String,
@@ -38,6 +40,7 @@ pub struct RunManifest {
     stages: Vec<(String, Value)>,
     faults: Option<Value>,
     throughput_qps: Vec<f64>,
+    timeseries: Option<Value>,
     extra: Vec<(String, Value)>,
 }
 
@@ -54,6 +57,7 @@ impl RunManifest {
             stages: Vec::new(),
             faults: None,
             throughput_qps: Vec::new(),
+            timeseries: None,
             extra: Vec::new(),
         }
     }
@@ -123,6 +127,15 @@ impl RunManifest {
         self
     }
 
+    /// Sampled time-series section (schema v2): the value produced by a
+    /// telemetry sampler's manifest rendering — tick-indexed points, so
+    /// a fixed-seed run emits identical bytes. Wall-clock stamps would
+    /// break the determinism diff; samplers must index by tick.
+    pub fn timeseries(mut self, series: Value) -> RunManifest {
+        self.timeseries = Some(series);
+        self
+    }
+
     /// Free-form extension field (appears under `"extra"`, insertion
     /// order preserved).
     pub fn extra(mut self, key: &str, value: Value) -> RunManifest {
@@ -157,6 +170,7 @@ impl Serialize for RunManifest {
             "stages": stages,
             "faults": self.faults,
             "throughput_qps": self.throughput_qps,
+            "timeseries": self.timeseries,
             "extra": extra,
         })
     }
@@ -240,6 +254,7 @@ mod tests {
                 "stages",
                 "faults",
                 "throughput_qps",
+                "timeseries",
                 "extra",
             ]
         );
@@ -274,7 +289,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ldp-obs-manifest-{}", std::process::id()));
         let path = RunManifest::new("smoke").write(&dir, "smoke").unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"schema\": \"ldp.run-manifest/v1\""));
+        assert!(body.contains("\"schema\": \"ldp.run-manifest/v2\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,10 +43,42 @@ fn manifest_top_level_schema() {
             "stages",
             "faults",
             "throughput_qps",
+            "timeseries",
             "extra",
         ]
     );
     assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+    assert_eq!(SCHEMA, "ldp.run-manifest/v2");
+}
+
+/// The v2 `timeseries` section: produced by the telemetry sampler, fixed
+/// key order (`unit`, `ticks`, `series`, `derived`), tick-indexed points
+/// so a fixed-seed run emits identical bytes.
+#[test]
+fn manifest_v2_timeseries_schema() {
+    let section = json!({
+        "unit": "ticks",
+        "ticks": 3u64,
+        "series": {
+            "ldp_replay_sent_total{shard=\"0\"}": [[0u64, 0u64], [1u64, 40u64], [2u64, 80u64]],
+        },
+        "derived": {
+            "sent_per_tick": 40.0,
+            "send_lag_us_per_tick": 1.5,
+        },
+    });
+    let m = RunManifest::new("golden").timeseries(section);
+    let v = m.to_json_value();
+    let ts = v.get("timeseries").expect("timeseries present");
+    assert_eq!(object_keys(ts), ["unit", "ticks", "series", "derived"]);
+    assert_eq!(ts.get("unit").and_then(Value::as_str), Some("ticks"));
+    let series = ts.get("series").expect("series map");
+    let keys = object_keys(series);
+    assert_eq!(keys, ["ldp_replay_sent_total{shard=\"0\"}"]);
+    // Without the builder, the section is null — v1 consumers reading a
+    // v2 manifest see an explicit absent marker, not a missing key.
+    let bare = RunManifest::new("golden").to_json_value();
+    assert_eq!(bare.get("timeseries"), Some(&Value::Null));
 }
 
 #[test]

@@ -31,6 +31,8 @@
 #![deny(rust_2018_idioms, unsafe_op_in_unsafe_fn, unreachable_pub)]
 
 use std::net::{IpAddr, SocketAddr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ldp_netsim::{Ctx, Node, NodeEvent, Packet};
 use ldp_wire::DNS_PORT;
@@ -92,9 +94,18 @@ pub fn classify(packet: &Packet) -> Captured {
 pub struct ProxyNode {
     meta_server: IpAddr,
     recursive: IpAddr,
-    pub queries_forwarded: u64,
-    pub responses_forwarded: u64,
-    pub dropped: u64,
+    /// Path counters, shared so a harness (or the telemetry registry) can
+    /// read them while the node is owned by the simulator. The simulator
+    /// drives nodes single-threaded; atomics are for shared *reads*.
+    pub stats: Arc<ProxyStats>,
+}
+
+/// How much traffic took each proxy path.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    pub queries_forwarded: AtomicU64,
+    pub responses_forwarded: AtomicU64,
+    pub dropped: AtomicU64,
 }
 
 impl ProxyNode {
@@ -102,10 +113,46 @@ impl ProxyNode {
         ProxyNode {
             meta_server,
             recursive,
-            queries_forwarded: 0,
-            responses_forwarded: 0,
-            dropped: 0,
+            stats: Arc::new(ProxyStats::default()),
         }
+    }
+
+    pub fn queries_forwarded(&self) -> u64 {
+        self.stats.queries_forwarded.load(Ordering::Relaxed)
+    }
+
+    pub fn responses_forwarded(&self) -> u64 {
+        self.stats.responses_forwarded.load(Ordering::Relaxed)
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.stats.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Registers the proxy's path counters with a live-telemetry
+    /// registry (observed — the simulation loop pays nothing extra).
+    pub fn register_telemetry(&self, reg: &ldp_telemetry::Registry) {
+        let s = self.stats.clone();
+        reg.observe_counter(
+            "ldp_proxy_queries_forwarded_total",
+            "Queries rewritten toward the meta server",
+            &[],
+            move || s.queries_forwarded.load(Ordering::Relaxed),
+        );
+        let s = self.stats.clone();
+        reg.observe_counter(
+            "ldp_proxy_responses_forwarded_total",
+            "Responses rewritten back to the recursive",
+            &[],
+            move || s.responses_forwarded.load(Ordering::Relaxed),
+        );
+        let s = self.stats.clone();
+        reg.observe_counter(
+            "ldp_proxy_dropped_total",
+            "Captured packets matching neither iptables rule",
+            &[],
+            move || s.dropped.load(Ordering::Relaxed),
+        );
     }
 }
 
@@ -116,15 +163,17 @@ impl Node for ProxyNode {
         };
         match classify(&packet) {
             Captured::Query => {
-                self.queries_forwarded += 1;
+                self.stats.queries_forwarded.fetch_add(1, Ordering::Relaxed);
                 ctx.send(rewrite_query(&packet, self.meta_server));
             }
             Captured::Response => {
-                self.responses_forwarded += 1;
+                self.stats
+                    .responses_forwarded
+                    .fetch_add(1, Ordering::Relaxed);
                 ctx.send(rewrite_response(&packet, self.recursive));
             }
             Captured::Other => {
-                self.dropped += 1;
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -234,7 +283,21 @@ mod tests {
         // the sim as unroutable), which is fine for this counter test.
         sim.run_until(SimTime::from_secs(1));
         let proxy: &ProxyNode = sim.node_as(p).unwrap();
-        assert_eq!(proxy.queries_forwarded, 1);
-        assert_eq!(proxy.dropped, 1);
+        assert_eq!(proxy.queries_forwarded(), 1);
+        assert_eq!(proxy.dropped(), 1);
+    }
+
+    #[test]
+    fn telemetry_observes_path_counters() {
+        let node = ProxyNode::new(ip("10.0.0.3"), ip("10.0.0.2"));
+        let reg = ldp_telemetry::Registry::new();
+        node.register_telemetry(&reg);
+        node.stats.queries_forwarded.fetch_add(5, Ordering::Relaxed);
+        node.stats.dropped.fetch_add(2, Ordering::Relaxed);
+        let samples = reg.snapshot();
+        let value = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+        assert_eq!(value("ldp_proxy_queries_forwarded_total"), Some(5));
+        assert_eq!(value("ldp_proxy_responses_forwarded_total"), Some(0));
+        assert_eq!(value("ldp_proxy_dropped_total"), Some(2));
     }
 }

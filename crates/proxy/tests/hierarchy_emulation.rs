@@ -248,8 +248,8 @@ fn full_recursive_resolution_through_one_server() {
 
     // ...through the proxy in both directions...
     let proxy: &ProxyNode = world.sim.node_as(world.proxy).unwrap();
-    assert_eq!(proxy.queries_forwarded, 3);
-    assert_eq!(proxy.responses_forwarded, 3);
+    assert_eq!(proxy.queries_forwarded(), 3);
+    assert_eq!(proxy.responses_forwarded(), 3);
 
     // ...against a single server instance that saw all three queries.
     let meta: &AuthServerNode = world.sim.node_as(world.meta).unwrap();

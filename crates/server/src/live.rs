@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 
 use crate::auth::AuthEngine;
 use crate::chaos::{ChaosPolicy, ResponseFate};
-use crate::pktcache::PacketCache;
+use crate::pktcache::{CacheStats, PacketCache};
 
 /// Counters shared with the experiment harness.
 #[derive(Debug, Default)]
@@ -35,6 +35,9 @@ pub struct LiveStats {
     /// Response sends the kernel refused (buffer pressure or a vanished
     /// peer); counted, never silently swallowed.
     pub send_failures: AtomicU64,
+    /// UDP packet-cache hit/miss/eviction totals (the cache itself lives
+    /// inside the serving loop; only the counters are shared).
+    pub pktcache: Arc<CacheStats>,
     /// Server-side handle time (µs) per query: parse through response
     /// encode, excluding the outbound send. UDP amortizes one measurement
     /// across each `recvmmsg` batch (the lock is taken per batch, not per
@@ -59,6 +62,8 @@ impl LiveStats {
 pub struct LiveServer {
     pub addr: SocketAddr,
     pub stats: Arc<LiveStats>,
+    /// Kept (when chaos-spawned) so telemetry can expose the fate totals.
+    chaos: Option<Arc<ChaosPolicy>>,
     tasks: Vec<JoinHandle<()>>,
 }
 
@@ -98,12 +103,137 @@ impl LiveServer {
         let stats = Arc::new(LiveStats::default());
 
         let udp_task = tokio::spawn(serve_udp(udp, engine.clone(), stats.clone(), chaos.clone()));
-        let tcp_task = tokio::spawn(serve_tcp(tcp, engine, stats.clone(), chaos));
+        let tcp_task = tokio::spawn(serve_tcp(tcp, engine, stats.clone(), chaos.clone()));
         Ok(LiveServer {
             addr,
             stats,
+            chaos,
             tasks: vec![udp_task, tcp_task],
         })
+    }
+
+    /// Registers this server's counters with a live-telemetry registry:
+    /// query/malformed/byte totals, packet-cache behavior, and — when the
+    /// server was chaos-spawned — the injected-fault totals. Everything is
+    /// *observed* (closures over the atomics the serving loops already
+    /// bump), so serving pays nothing beyond its existing counters.
+    pub fn register_telemetry(&self, reg: &ldp_telemetry::Registry) {
+        let stats = self.stats.clone();
+        reg.observe_counter(
+            "ldp_server_queries_total",
+            "Queries handled",
+            &[("proto", "udp")],
+            {
+                let s = stats.clone();
+                move || s.udp_queries.load(Ordering::Relaxed)
+            },
+        );
+        reg.observe_counter(
+            "ldp_server_queries_total",
+            "Queries handled",
+            &[("proto", "tcp")],
+            {
+                let s = stats.clone();
+                move || s.tcp_queries.load(Ordering::Relaxed)
+            },
+        );
+        reg.observe_counter(
+            "ldp_server_tcp_connections_total",
+            "TCP connections accepted",
+            &[],
+            {
+                let s = stats.clone();
+                move || s.tcp_connections.load(Ordering::Relaxed)
+            },
+        );
+        reg.observe_counter(
+            "ldp_server_malformed_total",
+            "Messages that failed to parse",
+            &[],
+            {
+                let s = stats.clone();
+                move || s.malformed.load(Ordering::Relaxed)
+            },
+        );
+        reg.observe_counter(
+            "ldp_server_response_bytes_total",
+            "Response bytes produced",
+            &[],
+            {
+                let s = stats.clone();
+                move || s.response_bytes.load(Ordering::Relaxed)
+            },
+        );
+        reg.observe_counter(
+            "ldp_server_send_failures_total",
+            "Response sends the kernel refused",
+            &[],
+            {
+                let s = stats.clone();
+                move || s.send_failures.load(Ordering::Relaxed)
+            },
+        );
+        let cache_help = "UDP packet-cache events";
+        for (event, read) in [
+            ("hit", {
+                let c = stats.pktcache.clone();
+                Box::new(move || c.hits.load(Ordering::Relaxed))
+                    as Box<dyn Fn() -> u64 + Send + Sync>
+            }),
+            ("miss", {
+                let c = stats.pktcache.clone();
+                Box::new(move || c.misses.load(Ordering::Relaxed))
+                    as Box<dyn Fn() -> u64 + Send + Sync>
+            }),
+            ("eviction", {
+                let c = stats.pktcache.clone();
+                Box::new(move || c.evictions.load(Ordering::Relaxed))
+                    as Box<dyn Fn() -> u64 + Send + Sync>
+            }),
+        ] {
+            reg.observe_counter(
+                "ldp_server_pktcache_total",
+                cache_help,
+                &[("event", event)],
+                read,
+            );
+        }
+        if let Some(chaos) = &self.chaos {
+            for (fate, read) in [
+                ("dropped", {
+                    let c = chaos.clone();
+                    Box::new(move || c.stats.dropped.load(Ordering::Relaxed))
+                        as Box<dyn Fn() -> u64 + Send + Sync>
+                }),
+                ("duplicated", {
+                    let c = chaos.clone();
+                    Box::new(move || c.stats.duplicated.load(Ordering::Relaxed))
+                        as Box<dyn Fn() -> u64 + Send + Sync>
+                }),
+                ("delayed", {
+                    let c = chaos.clone();
+                    Box::new(move || c.stats.delayed.load(Ordering::Relaxed))
+                        as Box<dyn Fn() -> u64 + Send + Sync>
+                }),
+                ("refused_accept", {
+                    let c = chaos.clone();
+                    Box::new(move || c.stats.refused_accepts.load(Ordering::Relaxed))
+                        as Box<dyn Fn() -> u64 + Send + Sync>
+                }),
+                ("reset", {
+                    let c = chaos.clone();
+                    Box::new(move || c.stats.resets.load(Ordering::Relaxed))
+                        as Box<dyn Fn() -> u64 + Send + Sync>
+                }),
+            ] {
+                reg.observe_counter(
+                    "ldp_server_chaos_total",
+                    "Injected chaos fates",
+                    &[("fate", fate)],
+                    read,
+                );
+            }
+        }
     }
 }
 
@@ -176,7 +306,7 @@ async fn serve_udp(
     // Answers are deterministic over static zones, so identical query
     // wires (ignoring the id) short-circuit the parse → lookup → encode
     // path entirely; see [`crate::pktcache`].
-    let mut cache = PacketCache::new(8_192);
+    let mut cache = PacketCache::with_stats(8_192, stats.pktcache.clone());
     loop {
         let Ok(received) = socket.recv_many(&mut bufs).await else {
             continue;
@@ -380,6 +510,47 @@ mod tests {
             3,
             "one handle-time sample per TCP query"
         );
+    }
+
+    #[tokio::test]
+    async fn pktcache_counters_surface_through_stats_and_telemetry() {
+        let server = LiveServer::spawn(engine(), "127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let reg = ldp_telemetry::Registry::new();
+        server.register_telemetry(&reg);
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let mut buf = vec![0u8; 4096];
+        // The same question under three ids: one miss fills the cache,
+        // the retransmits hit.
+        for id in 0..3u16 {
+            let q = Message::query(id, n("www.example.com"), RrType::A);
+            client
+                .send_to(&q.to_bytes().unwrap(), server.addr)
+                .await
+                .unwrap();
+            let (len, _) = client.recv_from(&mut buf).await.unwrap();
+            assert_eq!(Message::from_bytes(&buf[..len]).unwrap().header.id, id);
+        }
+        assert_eq!(server.stats.pktcache.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats.pktcache.hits.load(Ordering::Relaxed), 2);
+        let samples = reg.snapshot();
+        let value = |event: &str| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == "ldp_server_pktcache_total"
+                        && s.labels.iter().any(|(_, v)| v == event)
+                })
+                .map(|s| s.value)
+        };
+        assert_eq!(value("hit"), Some(2));
+        assert_eq!(value("miss"), Some(1));
+        assert_eq!(value("eviction"), Some(0));
+        // Query totals ride along on the same registry.
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "ldp_server_queries_total" && s.value == 3));
     }
 
     #[tokio::test]

@@ -9,20 +9,33 @@
 //! one identical answer.
 //!
 //! Keys are the raw query bytes with the id zeroed (so retransmits and
-//! replayed duplicates with fresh ids still hit); values keep the client
+//! replayed duplicates with fresh ids still hit): values keep the client
 //! IP they were computed for, because [`crate::auth::AuthEngine::respond`]
 //! may vary by client view — the same wire from a different IP is a miss
 //! and recomputes.
 
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hit/miss/eviction counters, shared out of the cache so the serving
+/// loop's owner (and the telemetry registry) can read them while the
+/// cache itself stays thread-local to the UDP task. Atomics only for
+/// cross-thread visibility — every writer is the single serving loop.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    /// Entries discarded by the at-capacity wholesale clear.
+    pub evictions: AtomicU64,
+}
 
 /// Bounded map from query wire (id zeroed) to the response template.
 pub struct PacketCache {
     map: HashMap<Vec<u8>, (IpAddr, Vec<u8>)>,
     cap: usize,
-    pub hits: u64,
-    pub misses: u64,
+    stats: Arc<CacheStats>,
 }
 
 impl PacketCache {
@@ -30,11 +43,17 @@ impl PacketCache {
     /// cache is cleared wholesale (replay workloads are heavily skewed, so
     /// a cold restart refills with the hot set immediately).
     pub fn new(cap: usize) -> PacketCache {
+        PacketCache::with_stats(cap, Arc::new(CacheStats::default()))
+    }
+
+    /// Like [`PacketCache::new`], but counting into caller-owned stats —
+    /// how the live server surfaces cache behavior without owning the
+    /// cache across tasks.
+    pub fn with_stats(cap: usize, stats: Arc<CacheStats>) -> PacketCache {
         PacketCache {
             map: HashMap::new(),
             cap: cap.max(1),
-            hits: 0,
-            misses: 0,
+            stats,
         }
     }
 
@@ -43,7 +62,7 @@ impl PacketCache {
     pub fn get(&mut self, client: IpAddr, wire: &[u8], id: u16) -> Option<Vec<u8>> {
         match self.map.get(wire) {
             Some((ip, template)) if *ip == client => {
-                self.hits += 1;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 let mut bytes = template.clone();
                 if bytes.len() >= 2 {
                     bytes[0..2].copy_from_slice(&id.to_be_bytes());
@@ -51,7 +70,7 @@ impl PacketCache {
                 Some(bytes)
             }
             _ => {
-                self.misses += 1;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -60,6 +79,9 @@ impl PacketCache {
     /// Stores the response template for `wire` (id zeroed on both sides).
     pub fn put(&mut self, client: IpAddr, wire: &[u8], response: &[u8]) {
         if self.map.len() >= self.cap {
+            self.stats
+                .evictions
+                .fetch_add(self.map.len() as u64, Ordering::Relaxed);
             self.map.clear();
         }
         let mut template = response.to_vec();
@@ -67,6 +89,18 @@ impl PacketCache {
             template[0..2].copy_from_slice(&[0, 0]);
         }
         self.map.insert(wire.to_vec(), (client, template));
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.stats.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.stats.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -96,7 +130,7 @@ mod tests {
         // A retransmit under another id hits the same entry.
         let again = c.get(ip("127.0.0.1"), &query, 7).unwrap();
         assert_eq!(&again[2..], &[42, 43]);
-        assert_eq!((c.hits, c.misses), (2, 0));
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (2, 0, 0));
     }
 
     #[test]
@@ -108,7 +142,7 @@ mod tests {
             c.get(ip("10.0.0.9"), &query, 1).is_none(),
             "view-dependent answers must not leak across clients"
         );
-        assert_eq!((c.hits, c.misses), (0, 1));
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (0, 1, 0));
     }
 
     #[test]
@@ -119,5 +153,24 @@ mod tests {
             assert!(c.len() <= 4, "cap respected after {i} inserts");
         }
         assert!(!c.is_empty());
+        // 32 distinct inserts into a cap-4 map: the wholesale clear ran 8
+        // times, discarding 4 entries each — every insert beyond the live
+        // map was evicted.
+        assert_eq!(c.evictions(), 32 - c.len() as u64);
+    }
+
+    #[test]
+    fn shared_stats_survive_the_cache() {
+        let stats = Arc::new(CacheStats::default());
+        let query = [0, 0, 7];
+        {
+            let mut c = PacketCache::with_stats(16, stats.clone());
+            c.put(ip("127.0.0.1"), &query, &[0, 0, 7]);
+            c.get(ip("127.0.0.1"), &query, 1).unwrap();
+            c.get(ip("127.0.0.2"), &query, 1);
+        }
+        // The cache is gone; its owner still reads the totals.
+        assert_eq!(stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.misses.load(Ordering::Relaxed), 1);
     }
 }

@@ -231,7 +231,7 @@ fn main() {
     let meta_ref: &AuthServerNode = sim.node_as(meta).unwrap();
     println!(
         "\nhierarchy walk: {} iterative queries through the proxy ({} forwarded, {} answered by ONE server instance)",
-        rec_ref.core.upstream_queries, proxy_ref.queries_forwarded, meta_ref.usage.udp_queries
+        rec_ref.core.upstream_queries, proxy_ref.queries_forwarded(), meta_ref.usage.udp_queries
     );
     assert_eq!(rec_ref.core.upstream_queries, 3, "root → com → example.com");
 }

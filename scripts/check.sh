@@ -18,6 +18,9 @@ cargo test --workspace -q
 echo "==> chaos smoke (lossy replay must recover via retries)"
 cargo run -q --release -p ldp-bench --bin chaos_smoke
 
+echo "==> scrape smoke (--metrics-addr endpoint + ldplayer top)"
+sh scripts/scrape_smoke.sh
+
 echo "==> bench smoke (fig09 on a tiny trace) + throughput gate"
 # The smoke run writes to a scratch dir so it never clobbers the committed
 # baseline; bench_gate then compares the fresh record against it. Records

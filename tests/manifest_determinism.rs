@@ -6,7 +6,12 @@
 //! contamination).
 //!
 //! Manifests here must stay timestamp-free: no throughput series, no
-//! wall-clock extras (see `ldp_obs::RunManifest` docs).
+//! wall-clock extras (see `ldp_obs::RunManifest` docs). The v2
+//! `timeseries` section is exercised with sim-time samples (tick = sample
+//! index), which are deterministic by construction — the same contract
+//! the live sampler honors by indexing on ticks instead of wall clocks.
+
+use std::collections::BTreeMap;
 
 use ldp_obs::RunManifest;
 use ldplayer::workload::BRootConfig;
@@ -38,10 +43,26 @@ fn build_manifest() -> RunManifest {
         result.latency_hist.count() > 0,
         "sim run must answer queries"
     );
+    // Sim-time server samples as a v2 timeseries section: tick-indexed,
+    // so the bytes depend only on the seed.
+    let mut series: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    for (i, s) in result.samples.iter().enumerate() {
+        let tick = i as u64;
+        series
+            .entry("sim_server_established".to_string())
+            .or_default()
+            .push((tick, s.established as f64));
+        series
+            .entry("sim_server_response_mbps".to_string())
+            .or_default()
+            .push((tick, s.response_mbps));
+    }
+    let ticks = result.samples.len() as u64;
     RunManifest::new("sim_determinism")
         .seed(seed())
         .scale(1.0)
         .stage("latency", &result.latency_hist)
+        .timeseries(ldp_telemetry::sampler::manifest_section(&series, ticks))
 }
 
 #[test]
